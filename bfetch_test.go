@@ -1,0 +1,92 @@
+package bfetch
+
+import (
+	"strings"
+	"testing"
+)
+
+// API-surface tests: the facade must expose a coherent, working view of the
+// internal packages.
+
+func TestWorkloadCatalog(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 18 {
+		t.Fatalf("workloads = %d, want 18", len(ws))
+	}
+	if _, err := WorkloadByName("mcf"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExperimentCatalog(t *testing.T) {
+	es := Experiments()
+	if len(es) < 14 {
+		t.Fatalf("experiments = %d, want ≥ 14", len(es))
+	}
+	if _, err := ExperimentByID("fig8"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssembleAndRunCustomWorkload(t *testing.T) {
+	prog, err := Assemble(`
+		movi r16, 0x8000
+		movi r10, 64
+	loop:
+		ld   r1, 0(r16)
+		addi r16, r16, 64
+		addi r10, r10, -1
+		bnez r10, loop
+	idle:
+		jmp idle
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorkload("probe", "test kernel", "streaming", false,
+		func() (*Program, *Memory) { return prog, NewMemory() })
+	sys, err := NewSystem(DefaultConfig(PFNone), []Workload{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(2000, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Snapshot()
+	if res.IPC[0] <= 0 {
+		t.Errorf("IPC = %v", res.IPC[0])
+	}
+	if res.L1D[0].Accesses == 0 {
+		t.Error("no L1D traffic")
+	}
+}
+
+func TestDefaultConfigMatchesTableII(t *testing.T) {
+	cfg := DefaultConfig(PFBFetch)
+	if cfg.CPU.Width != 4 || cfg.CPU.ROBEntries != 192 {
+		t.Errorf("core config = %+v", cfg.CPU)
+	}
+	if cfg.LLCPerCore != 2<<20 {
+		t.Errorf("LLC per core = %d", cfg.LLCPerCore)
+	}
+	if cfg.BFetch.PathThreshold != 0.75 || cfg.BFetch.FilterThreshold != 3 {
+		t.Errorf("B-Fetch thresholds = %+v", cfg.BFetch)
+	}
+}
+
+func TestTableIIExperimentPrints(t *testing.T) {
+	e, err := ExperimentByID("tab2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(DefaultExperimentParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tables[0].String()
+	for _, want := range []string{"192-entry ROB", "64KB", "256KB", "2MB/core", "200-cycle"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table II missing %q:\n%s", want, s)
+		}
+	}
+}

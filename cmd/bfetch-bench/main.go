@@ -1,0 +1,102 @@
+// Command bfetch-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	bfetch-bench -list
+//	bfetch-bench -exp fig8
+//	bfetch-bench -exp all -out results/
+//	bfetch-bench -exp fig9 -warmup 100000 -measure 300000 -mixes 29
+//
+// Each experiment prints its table(s) to stdout; with -out set, CSVs are
+// written alongside.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		expID     = flag.String("exp", "", "experiment id (fig1, fig3, fig7..fig15, tab1, tab2, ablation, or 'all')")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		outDir    = flag.String("out", "", "directory for CSV output (optional)")
+		warmup    = flag.Uint64("warmup", 100_000, "warmup instructions per core")
+		measure   = flag.Uint64("measure", 300_000, "measured instructions per core")
+		mixes     = flag.Int("mixes", 29, "number of multiprogrammed mixes")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all 18)")
+		quiet     = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	if *list || *expID == "" {
+		fmt.Println("experiments:")
+		for _, e := range harness.All() {
+			fmt.Printf("  %-9s %s\n", e.ID, e.Title)
+			fmt.Printf("  %-9s paper: %s\n", "", e.Paper)
+		}
+		return
+	}
+
+	params := harness.DefaultParams()
+	params.Opts = sim.RunOpts{WarmupInsts: *warmup, MeasureInsts: *measure}
+	params.Mixes = *mixes
+	if *workloads != "" {
+		params.Workloads = strings.Split(*workloads, ",")
+	}
+	if !*quiet {
+		params.Log = os.Stderr
+	}
+
+	var todo []harness.Experiment
+	if *expID == "all" {
+		todo = harness.All()
+	} else {
+		for _, id := range strings.Split(*expID, ",") {
+			e, err := harness.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %s: %s\n", e.ID, e.Title)
+		tables, err := e.Run(params)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Fprintf(os.Stderr, "%s finished in %s\n", e.ID, time.Since(start).Round(time.Millisecond))
+		for i, t := range tables {
+			fmt.Println(t)
+			if *outDir != "" {
+				if err := os.MkdirAll(*outDir, 0o755); err != nil {
+					fatal(err)
+				}
+				name := e.ID
+				if len(tables) > 1 {
+					name = fmt.Sprintf("%s_%d", e.ID, i+1)
+				}
+				path := filepath.Join(*outDir, name+".csv")
+				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bfetch-bench:", err)
+	os.Exit(1)
+}

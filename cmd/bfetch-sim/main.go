@@ -1,0 +1,74 @@
+// Command bfetch-sim runs one simulation and prints its statistics: a
+// workload (or mix) on a chosen prefetcher configuration.
+//
+// Usage:
+//
+//	bfetch-sim -workloads mcf -pf bfetch
+//	bfetch-sim -workloads mcf,lbm,milc,astar -pf sms -measure 500000
+//	bfetch-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		apps    = flag.String("workloads", "mcf", "comma-separated workloads, one per core")
+		pf      = flag.String("pf", "bfetch", "prefetcher: none|stride|sms|bfetch|perfect|nextn")
+		width   = flag.Int("width", 4, "pipeline width")
+		warmup  = flag.Uint64("warmup", 100_000, "warmup instructions per core")
+		measure = flag.Uint64("measure", 300_000, "measured instructions per core")
+		conf    = flag.Float64("conf", 0.75, "B-Fetch path confidence threshold")
+		list    = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workload.All() {
+			tag := "cache-resident"
+			if w.MemoryIntensive {
+				tag = "memory-intensive"
+			}
+			fmt.Printf("  %-12s %-9s %-16s %s\n", w.Name, w.Character, tag, w.Description)
+		}
+		return
+	}
+
+	cfg := sim.Default(sim.PrefetcherKind(*pf))
+	cfg.CPU = cfg.CPU.WithWidth(*width)
+	cfg.BFetch.PathThreshold = *conf
+	names := strings.Split(*apps, ",")
+
+	res, err := sim.Run(cfg, names, sim.RunOpts{WarmupInsts: *warmup, MeasureInsts: *measure})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfetch-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("prefetcher=%s width=%d cores=%d warmup=%d measure=%d\n\n",
+		*pf, *width, len(names), *warmup, *measure)
+	for i, name := range names {
+		cs := res.Core[i]
+		l1 := res.L1D[i]
+		fmt.Printf("core %d: %s\n", i, name)
+		fmt.Printf("  IPC            %.3f  (%d instructions, %d cycles)\n", res.IPC[i], cs.Committed, cs.Cycles)
+		fmt.Printf("  branches       %d committed, %.2f%% mispredicted\n",
+			cs.BranchesCommitted, 100*cs.BranchMissRate())
+		fmt.Printf("  L1D            %d accesses, %.2f%% miss\n", l1.Accesses, 100*l1.MissRate())
+		fmt.Printf("  loads          %d (L1 hit %d / miss %d, forwards %d)\n",
+			cs.LoadsCommitted, cs.LoadL1Hits, cs.LoadL1Misses, cs.StoreForwards)
+		fmt.Printf("  prefetches     %d issued, %d dropped-resident, %d useful, %d useless\n",
+			cs.PrefetchIssued, cs.PrefetchDropped, l1.PrefetchUseful, l1.PrefetchUseless)
+		fmt.Println()
+	}
+	fmt.Printf("LLC: %d accesses, %.2f%% miss\n", res.LLC.Accesses, 100*res.LLC.MissRate())
+	fmt.Printf("DRAM: %d demand fills, %d prefetch fills, %d writebacks, %d stall cycles\n",
+		res.DRAM.DemandFills, res.DRAM.PrefetchFills, res.DRAM.Writebacks, res.DRAM.StallCycles)
+}

@@ -1,0 +1,70 @@
+package bfetch_test
+
+import (
+	"fmt"
+	"log"
+
+	bfetch "repro"
+)
+
+// Measure one of the built-in SPEC-stand-in workloads on the paper's
+// Table II baseline, with and without B-Fetch.
+func Example() {
+	opts := bfetch.RunOpts{WarmupInsts: 20_000, MeasureInsts: 50_000}
+
+	base, err := bfetch.RunSolo(bfetch.DefaultConfig(bfetch.PFNone), "libquantum", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bf, err := bfetch.RunSolo(bfetch.DefaultConfig(bfetch.PFBFetch), "libquantum", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("B-Fetch speeds up libquantum:", bf.IPC[0] > base.IPC[0])
+	// Output:
+	// B-Fetch speeds up libquantum: true
+}
+
+// Build a custom kernel with the assembler and wrap it as a workload.
+func ExampleAssemble() {
+	prog, err := bfetch.Assemble(`
+		movi r16, 0x8000
+		movi r10, 100
+	loop:
+		ld   r1, 0(r16)
+		addi r16, r16, 64
+		addi r10, r10, -1
+		bnez r10, loop
+		halt
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("instructions:", prog.Len())
+	// Output:
+	// instructions: 7
+}
+
+// List the reproduced paper artifacts.
+func ExampleExperiments() {
+	for _, e := range bfetch.Experiments()[:3] {
+		fmt.Println(e.ID)
+	}
+	// Output:
+	// fig3
+	// fig7
+	// tab1
+}
+
+// Inspect the built-in workload suite.
+func ExampleWorkloads() {
+	n := 0
+	for _, w := range bfetch.Workloads() {
+		if w.MemoryIntensive {
+			n++
+		}
+	}
+	fmt.Printf("%d workloads, %d memory-intensive\n", len(bfetch.Workloads()), n)
+	// Output:
+	// 18 workloads, 13 memory-intensive
+}

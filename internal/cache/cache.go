@@ -1,0 +1,294 @@
+// Package cache models the CMP memory hierarchy: set-associative write-back
+// caches with LRU replacement, per-block prefetch metadata (for the paper's
+// useful/useless accounting and B-Fetch's per-load filter feedback), and a
+// functional-with-latency timing model.
+//
+// Timing model. An access walks the hierarchy at the cycle it issues and
+// returns its completion cycle; blocks are installed immediately but carry a
+// readyAt timestamp. A later access that finds a block with readyAt still in
+// the future completes at readyAt — the same merging behaviour an MSHR file
+// provides, at a fraction of the complexity. This preserves what a
+// prefetching study needs: memory-level parallelism, pollution (installs
+// evict victims), prefetch timeliness (a late prefetch still shortens the
+// demand miss), and DRAM bandwidth contention (see Package-level DRAM).
+package cache
+
+import "fmt"
+
+// BlockBits is log2 of the cache block size; blocks are 64 bytes throughout,
+// matching the paper.
+const BlockBits = 6
+
+// BlockBytes is the cache block size.
+const BlockBytes = 1 << BlockBits
+
+// AccessKind distinguishes traffic classes.
+type AccessKind uint8
+
+const (
+	Read AccessKind = iota
+	Write
+	PrefetchFill
+)
+
+// Request is one hierarchy access. BlockAddr is the block-granular address
+// (already ASID-extended by the caller for multiprogrammed runs).
+type Request struct {
+	BlockAddr uint64
+	Kind      AccessKind
+	// LoadPC is, for PrefetchFill requests, the PC of the load on whose
+	// behalf the prefetcher issued the request; it flows into the block
+	// metadata so eviction/use feedback can reach the per-load filter.
+	LoadPC uint64
+}
+
+// Level is anything that can service a block request: a next-level cache or
+// the DRAM model.
+type Level interface {
+	Access(req Request, now uint64) (doneAt uint64)
+}
+
+// FeedbackHandler receives prefetch-quality feedback from the L1D: a
+// prefetched block was used by a demand access, or was evicted untouched.
+// B-Fetch's per-load filter and the Figure 11 accounting both hang off this.
+type FeedbackHandler interface {
+	PrefetchUseful(loadPC uint64, blockAddr uint64)
+	PrefetchUseless(loadPC uint64, blockAddr uint64)
+}
+
+type block struct {
+	valid   bool
+	tag     uint64 // block address
+	dirty   bool
+	readyAt uint64
+	lastUse uint64
+
+	prefetched bool // filled by a prefetch and not yet touched by demand
+	pfLoadPC   uint64
+	pfWasPf    bool // filled by prefetch at some point (for useful counting)
+}
+
+// Stats counts one cache's traffic.
+type Stats struct {
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Writes    uint64
+	Evictions uint64
+
+	PrefetchFills   uint64 // prefetch fills installed at this level
+	PrefetchUseful  uint64 // prefetched blocks later touched by demand
+	PrefetchUseless uint64 // prefetched blocks evicted untouched
+	MergedInFlight  uint64 // accesses that hit a block still being filled
+}
+
+// MissRate returns misses per access.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Config sizes one cache.
+type Config struct {
+	Name     string
+	Bytes    int    // total capacity
+	Ways     int    // associativity
+	Latency  uint64 // access latency in cycles
+	Feedback bool   // deliver prefetch feedback from this level (L1D only)
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	cfg   Config
+	sets  int
+	ways  int
+	data  []block // sets × ways
+	next  Level
+	Stats Stats
+
+	feedback FeedbackHandler
+
+	// Perfect, when set on a first-level data cache, makes every demand
+	// read complete at the hit latency: the paper's Perfect L1-D prefetcher
+	// upper bound (Figure 1).
+	Perfect bool
+}
+
+// New builds a cache in front of next.
+func New(cfg Config, next Level) *Cache {
+	if next == nil {
+		panic("cache: nil next level")
+	}
+	blocks := cfg.Bytes / BlockBytes
+	if cfg.Ways <= 0 || blocks%cfg.Ways != 0 {
+		panic(fmt.Sprintf("cache %s: %d blocks not divisible into %d ways", cfg.Name, blocks, cfg.Ways))
+	}
+	sets := blocks / cfg.Ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: %d sets is not a power of two", cfg.Name, sets))
+	}
+	return &Cache{
+		cfg:  cfg,
+		sets: sets,
+		ways: cfg.Ways,
+		data: make([]block, sets*cfg.Ways),
+		next: next,
+	}
+}
+
+// SetFeedback registers the prefetch feedback sink (normally the core's
+// prefetcher adapter); only meaningful on the L1D.
+func (c *Cache) SetFeedback(h FeedbackHandler) { c.feedback = h }
+
+// Name returns the configured name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// Sets and Ways expose geometry (used by storage accounting and tests).
+func (c *Cache) Sets() int { return c.sets }
+func (c *Cache) Ways() int { return c.ways }
+
+// Blocks returns the total block count (used for the paper's "additional
+// cache bits" overhead accounting).
+func (c *Cache) Blocks() int { return c.sets * c.ways }
+
+func (c *Cache) setOf(blockAddr uint64) []block {
+	s := int(blockAddr & uint64(c.sets-1))
+	return c.data[s*c.ways : (s+1)*c.ways]
+}
+
+// lookup returns the way holding blockAddr, or nil.
+func (c *Cache) lookup(blockAddr uint64) *block {
+	set := c.setOf(blockAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == blockAddr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Contains reports whether the block is present (used by prefetch-queue
+// dedup and tests); it does not touch LRU state.
+func (c *Cache) Contains(blockAddr uint64) bool { return c.lookup(blockAddr) != nil }
+
+// victim returns the LRU way of the set, evicting its current contents.
+func (c *Cache) victim(blockAddr uint64, now uint64) *block {
+	set := c.setOf(blockAddr)
+	v := &set[0]
+	for i := range set {
+		if !set[i].valid {
+			v = &set[i]
+			break
+		}
+		if set[i].lastUse < v.lastUse {
+			v = &set[i]
+		}
+	}
+	if v.valid {
+		c.evict(v, now)
+	}
+	return v
+}
+
+func (c *Cache) evict(b *block, now uint64) {
+	c.Stats.Evictions++
+	if b.prefetched {
+		c.Stats.PrefetchUseless++
+		if c.feedback != nil {
+			c.feedback.PrefetchUseless(b.pfLoadPC, b.tag)
+		}
+	}
+	if b.dirty {
+		c.writeback(Request{BlockAddr: b.tag, Kind: Write}, now)
+	}
+	b.valid = false
+}
+
+// writeback pushes a dirty block to the next level, off the critical path.
+func (c *Cache) writeback(req Request, now uint64) {
+	if nc, ok := c.next.(*Cache); ok {
+		if b := nc.lookup(req.BlockAddr); b != nil {
+			b.dirty = true
+			return
+		}
+		// Non-inclusive hierarchy: allocate in the next level on writeback.
+		v := nc.victim(req.BlockAddr, now)
+		*v = block{valid: true, tag: req.BlockAddr, dirty: true, readyAt: now, lastUse: now}
+		return
+	}
+	// DRAM: charge write bandwidth.
+	c.next.Access(req, now)
+}
+
+// Access services a request, returning its completion cycle.
+func (c *Cache) Access(req Request, now uint64) uint64 {
+	c.Stats.Accesses++
+	if req.Kind == Write {
+		c.Stats.Writes++
+	}
+
+	if c.Perfect && req.Kind == Read {
+		c.Stats.Hits++
+		return now + c.cfg.Latency
+	}
+
+	if b := c.lookup(req.BlockAddr); b != nil {
+		c.Stats.Hits++
+		b.lastUse = now
+		if req.Kind == Write {
+			b.dirty = true
+		}
+		if req.Kind != PrefetchFill && b.prefetched {
+			// First demand touch of a prefetched block: it was useful.
+			b.prefetched = false
+			c.Stats.PrefetchUseful++
+			if c.feedback != nil {
+				c.feedback.PrefetchUseful(b.pfLoadPC, b.tag)
+			}
+		}
+		done := now + c.cfg.Latency
+		if b.readyAt > done {
+			// Block still in flight: merge with the outstanding fill.
+			c.Stats.MergedInFlight++
+			done = b.readyAt
+		}
+		return done
+	}
+
+	// Miss: fetch from below, install here. A store miss fetches the block
+	// like a read (write-allocate / read-for-ownership): the Write kind is
+	// reserved for writebacks, which take the off-critical-path route in
+	// writeback().
+	c.Stats.Misses++
+	fill := req
+	if fill.Kind == Write {
+		fill.Kind = Read
+	}
+	if req.Kind == PrefetchFill {
+		c.Stats.PrefetchFills++
+	}
+	fillDone := c.next.Access(fill, now+c.cfg.Latency)
+	v := c.victim(req.BlockAddr, now)
+	*v = block{
+		valid:   true,
+		tag:     req.BlockAddr,
+		dirty:   req.Kind == Write,
+		readyAt: fillDone,
+		lastUse: now,
+	}
+	if req.Kind == PrefetchFill {
+		v.prefetched = true
+		v.pfLoadPC = req.LoadPC
+		v.pfWasPf = true
+	}
+	return fillDone
+}
+
+// Invalidate removes a block if present, without writeback (test support).
+func (c *Cache) Invalidate(blockAddr uint64) {
+	if b := c.lookup(blockAddr); b != nil {
+		b.valid = false
+	}
+}

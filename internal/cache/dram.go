@@ -1,0 +1,123 @@
+package cache
+
+// DRAM is the off-chip memory model: a fixed access latency plus a channel
+// bandwidth gate. Every block transfer (demand fill, prefetch fill, or
+// writeback) occupies the channel for CyclesPerFill cycles; transfers queue
+// behind one another, so prefetch-heavy or multiprogrammed runs feel the
+// 12.8 GB/s memory-controller limit the paper imposes (§V-A).
+//
+// With a 3.2 GHz core clock, 12.8 GB/s is 64 bytes per 16 cycles, the
+// default.
+type DRAM struct {
+	Latency       uint64 // access latency in cycles (Table II: 200)
+	CyclesPerFill uint64 // channel occupancy per 64-byte transfer
+
+	nextFree uint64
+
+	// Traffic accounting.
+	DemandFills   uint64
+	PrefetchFills uint64
+	Writebacks    uint64
+	StallCycles   uint64 // cycles requests spent queued behind the channel
+}
+
+// NewDRAM returns the Table II DRAM model.
+func NewDRAM() *DRAM {
+	return &DRAM{Latency: 200, CyclesPerFill: 16}
+}
+
+// Access implements Level.
+func (d *DRAM) Access(req Request, now uint64) uint64 {
+	start := now
+	if d.nextFree > start {
+		d.StallCycles += d.nextFree - start
+		start = d.nextFree
+	}
+	d.nextFree = start + d.CyclesPerFill
+	switch req.Kind {
+	case PrefetchFill:
+		d.PrefetchFills++
+	case Write:
+		d.Writebacks++
+		// Writebacks are posted: they consume bandwidth but nothing waits
+		// on them.
+		return start
+	default:
+		d.DemandFills++
+	}
+	return start + d.Latency
+}
+
+// Transfers returns the total block transfers the channel carried.
+func (d *DRAM) Transfers() uint64 { return d.DemandFills + d.PrefetchFills + d.Writebacks }
+
+// HierarchyConfig sizes one core's cache stack. The shared LLC and DRAM are
+// created once per system and passed in.
+type HierarchyConfig struct {
+	L1Bytes   int
+	L1Ways    int
+	L1Latency uint64
+	L2Bytes   int
+	L2Ways    int
+	L2Latency uint64
+}
+
+// DefaultHierarchyConfig returns the Table II per-core configuration:
+// 64 KB 8-way 2-cycle L1D, 256 KB 8-way 10-cycle L2.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1Bytes: 64 << 10, L1Ways: 8, L1Latency: 2,
+		L2Bytes: 256 << 10, L2Ways: 8, L2Latency: 10,
+	}
+}
+
+// Hierarchy is one core's private cache stack in front of the shared levels.
+type Hierarchy struct {
+	L1D *Cache
+	L2  *Cache
+	// ASID tags every address so multiprogrammed address spaces do not
+	// alias in the shared LLC.
+	ASID uint64
+}
+
+// NewHierarchy builds a private L1D+L2 in front of the shared LLC.
+func NewHierarchy(cfg HierarchyConfig, shared Level, asid int) *Hierarchy {
+	l2 := New(Config{Name: "L2", Bytes: cfg.L2Bytes, Ways: cfg.L2Ways, Latency: cfg.L2Latency}, shared)
+	l1 := New(Config{Name: "L1D", Bytes: cfg.L1Bytes, Ways: cfg.L1Ways, Latency: cfg.L1Latency, Feedback: true}, l2)
+	return &Hierarchy{L1D: l1, L2: l2, ASID: uint64(asid)}
+}
+
+// extend tags a virtual byte address with the hierarchy's address-space ID.
+// Workload addresses stay far below 2^48, so the tag bits are free.
+func (h *Hierarchy) extend(addr uint64) uint64 {
+	return (addr >> BlockBits) | (h.ASID << 50)
+}
+
+// Load issues a demand read for the block containing addr, returning its
+// completion cycle and whether it hit in the L1D.
+func (h *Hierarchy) Load(addr uint64, now uint64) (uint64, bool) {
+	ba := h.extend(addr)
+	hit := h.L1D.Perfect || h.L1D.Contains(ba)
+	return h.L1D.Access(Request{BlockAddr: ba, Kind: Read}, now), hit
+}
+
+// Store issues a demand write (write-allocate) and returns its completion
+// cycle; the core treats stores as posted at commit.
+func (h *Hierarchy) Store(addr uint64, now uint64) uint64 {
+	return h.L1D.Access(Request{BlockAddr: h.extend(addr), Kind: Write}, now)
+}
+
+// Prefetch installs the block containing addr on behalf of loadPC. It
+// returns false if the block was already present in the L1D (the prefetch
+// was redundant and is dropped without touching lower levels).
+func (h *Hierarchy) Prefetch(addr uint64, loadPC uint64, now uint64) bool {
+	ba := h.extend(addr)
+	if h.L1D.Contains(ba) {
+		return false
+	}
+	h.L1D.Access(Request{BlockAddr: ba, Kind: PrefetchFill, LoadPC: loadPC}, now)
+	return true
+}
+
+// InL1 reports whether addr's block is resident in the L1D.
+func (h *Hierarchy) InL1(addr uint64) bool { return h.L1D.Contains(h.extend(addr)) }

@@ -1,0 +1,62 @@
+package core
+
+import "repro/internal/isa"
+
+// The Alternate Register File (ARF, §IV-B2) is B-Fetch's pseudo-architectural
+// copy of the register file. It is fed by sampling latches on the execute
+// stage's writeback paths — a delayed, possibly wrong-path view — rather
+// than by commit, because the paper found execute-stage freshness to be
+// worth the occasional speculative pollution ("significant improvement in
+// performance versus a retire-stage ... register file copy").
+//
+// Consistency guard: since the main pipeline completes out of order, an
+// update is applied only if its instruction is younger (higher sequence
+// number) than the register's previous writer; each register carries an
+// instruction-sequence field for this check.
+type arf struct {
+	val [isa.NumRegs]int64
+	seq [isa.NumRegs]uint64
+
+	delay   uint64 // sampling-latch delay in cycles
+	pending []arfUpdate
+}
+
+type arfUpdate struct {
+	reg     isa.Reg
+	val     int64
+	seq     uint64
+	applyAt uint64
+}
+
+func newARF(delay uint64) *arf { return &arf{delay: delay} }
+
+// sample enqueues one execute-stage register write.
+func (a *arf) sample(reg isa.Reg, val int64, seq uint64, now uint64) {
+	if reg == isa.RZero {
+		return
+	}
+	a.pending = append(a.pending, arfUpdate{reg: reg, val: val, seq: seq, applyAt: now + a.delay})
+}
+
+// tick applies updates whose sampling latches have drained.
+func (a *arf) tick(now uint64) {
+	rest := a.pending[:0]
+	for _, u := range a.pending {
+		if u.applyAt > now {
+			rest = append(rest, u)
+			continue
+		}
+		if u.seq > a.seq[u.reg] {
+			a.val[u.reg] = u.val
+			a.seq[u.reg] = u.seq
+		}
+	}
+	a.pending = rest
+}
+
+// read returns the ARF's current view of a register.
+func (a *arf) read(reg uint8) int64 { return a.val[reg] }
+
+// storageBits: 32 registers × (32-bit value + 8-bit sequence) = 1280 bits =
+// 0.156 KB (Table I).
+func (a *arf) storageBits() int { return isa.NumRegs * (32 + 8) }

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/branch"
+	"repro/internal/isa"
+	"repro/internal/prefetch"
+)
+
+// Additional component-level tests: hashing, DBR policy, chained lookahead,
+// and queue saturation.
+
+func TestPathKeyHashDistinguishes(t *testing.T) {
+	base := pathKey{branchPC: 0x1000, taken: true, targetPC: 0x2000}
+	variants := []pathKey{
+		{branchPC: 0x1004, taken: true, targetPC: 0x2000},
+		{branchPC: 0x1000, taken: false, targetPC: 0x2000},
+		{branchPC: 0x1000, taken: true, targetPC: 0x2004},
+	}
+	for _, v := range variants {
+		if v.hash() == base.hash() {
+			t.Errorf("hash collision between %+v and %+v", base, v)
+		}
+	}
+	if base.hash() != base.hash() {
+		t.Error("hash not deterministic")
+	}
+}
+
+// Property: the pathKey hash spreads well enough that 256 sequential
+// branches do not collide catastrophically in a 256-entry table.
+func TestQuickHashSpread(t *testing.T) {
+	f := func(seed uint32) bool {
+		seen := map[uint64]int{}
+		for i := 0; i < 256; i++ {
+			k := pathKey{
+				branchPC: uint64(seed) + uint64(i)*4,
+				taken:    i%2 == 0,
+				targetPC: uint64(seed) + uint64(i)*16,
+			}
+			seen[k.hash()&255]++
+		}
+		// Perfectly uniform would be 1 per bucket; demand no bucket holds
+		// more than 8 of the 256 keys.
+		for _, n := range seen {
+			if n > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBrTCTagRejectsAliases(t *testing.T) {
+	b := newBrTC(16) // small table to force index collisions
+	k1 := pathKey{branchPC: 0x1000, taken: true, targetPC: 0x2000}
+	b.update(k1, brtcEntry{nextBranchPC: 0xAAAA})
+	// Find another key that lands in the same slot but has a different PC.
+	var k2 pathKey
+	found := false
+	for pc := uint64(0x3000); pc < 0x9000; pc += 4 {
+		k2 = pathKey{branchPC: pc, taken: true, targetPC: 0x2000}
+		if k2.hash()&15 == k1.hash()&15 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no colliding key found in range")
+	}
+	if _, ok := b.lookup(k2); ok {
+		t.Error("aliased key hit despite tag mismatch")
+	}
+	// Replacing with k2 evicts k1.
+	b.update(k2, brtcEntry{nextBranchPC: 0xBBBB})
+	if e, ok := b.lookup(k2); !ok || e.nextBranchPC != 0xBBBB {
+		t.Error("replacement failed")
+	}
+	if _, ok := b.lookup(k1); ok {
+		t.Error("evicted key still hits")
+	}
+}
+
+func TestDBRKeepsNewestDecode(t *testing.T) {
+	b := newTestBFetch(DefaultConfig())
+	// Two decodes before any tick: the engine must start from the newest.
+	b.OnDecode(prefetch.DecodeInfo{PC: 0x1000, Op: isa.BNEZ, PredTaken: true, PredNext: 0x2000})
+	b.OnDecode(prefetch.DecodeInfo{PC: 0x5000, Op: isa.BNEZ, PredTaken: true, PredNext: 0x6000})
+	b.Tick(0)
+	if b.la.key.branchPC != 0x5000 {
+		t.Errorf("lookahead started from %#x, want the newest decode", b.la.key.branchPC)
+	}
+}
+
+func TestLookaheadWalksChain(t *testing.T) {
+	// Build a three-block chain A→B→C in the BrTC via commits, train the
+	// predictor, and verify the walk generates each block's prefetch.
+	b := newTestBFetch(DefaultConfig())
+	var regs [isa.NumRegs]int64
+	regs[5] = 0x100000
+	regs[6] = 0x200000
+	regs[7] = 0x300000
+
+	type hop struct {
+		br, blk uint64
+		reg     isa.Reg
+	}
+	chain := []hop{
+		{0x1000, 0x1100, isa.R(5)},
+		{0x1180, 0x1200, isa.R(6)},
+		{0x1280, 0x1300, isa.R(7)},
+	}
+	for pass := 0; pass < 8; pass++ {
+		for _, h := range chain {
+			commitBranch(b, h.br, true, h.blk, h.blk, &regs)
+			commitLoad(b, h.blk+8, h.reg, uint64(regs[h.reg]+0x20), &regs)
+		}
+	}
+	// Train high confidence for all three branches.
+	var ghr branch.GHR
+	for i := 0; i < 64; i++ {
+		for _, h := range chain {
+			p := b.bp.Lookup(h.br, ghr)
+			b.bp.Update(h.br, ghr, true, p)
+			b.conf.Update(h.br, ghr, p.Taken)
+			ghr = ghr.Shift(true)
+		}
+	}
+	for _, r := range []isa.Reg{5, 6, 7} {
+		b.OnExec(r, regs[r], 1000+uint64(r), 0)
+	}
+	b.OnDecode(prefetch.DecodeInfo{
+		PC: chain[0].br, Op: isa.BNEZ, PredTaken: true, PredNext: chain[0].blk,
+		GHR: uint64(ghr),
+	})
+	got := map[uint64]bool{}
+	for cyc := uint64(3); cyc < 30; cyc++ {
+		for _, r := range b.Tick(cyc) {
+			got[r.Addr] = true
+		}
+	}
+	for _, r := range []isa.Reg{5, 6, 7} {
+		want := uint64(regs[r] + 0x20)
+		if !got[want] {
+			t.Errorf("chain walk missed block for r%d (%#x); got %v", r, want, got)
+		}
+	}
+	if b.Stats.LookaheadSteps < 3 {
+		t.Errorf("walk covered %d steps, want ≥3", b.Stats.LookaheadSteps)
+	}
+}
+
+func TestQueueSaturationDrops(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueueEntries = 4
+	cfg.QueuePerCycle = 1
+	b := newTestBFetch(cfg)
+	var regs [isa.NumRegs]int64
+	// One block with three subentries, each with wide patterns, generates
+	// more candidates per step than a 4-entry queue at 1/cycle can drain.
+	const brA, blkA = 0x1000, 0x1040
+	for i := 0; i < 6; i++ {
+		for r := 5; r <= 7; r++ {
+			regs[r] = int64(0x10000 * r)
+			commitBranch(b, brA, true, blkA, blkA, &regs)
+			commitLoad(b, uint64(blkA+8*r), isa.R(r), uint64(regs[r]), &regs)
+			commitLoad(b, uint64(blkA+8*r+4), isa.R(r), uint64(regs[r]+128), &regs)
+		}
+	}
+	b.OnDecode(prefetch.DecodeInfo{PC: brA, Op: isa.BNEZ, PredTaken: true, PredNext: blkA})
+	for cyc := uint64(0); cyc < 50; cyc++ {
+		if n := len(b.Tick(cyc)); n > 1 {
+			t.Fatalf("queue issued %d > per-cycle limit", n)
+		}
+	}
+}
+
+func TestMHTMissStatCounts(t *testing.T) {
+	b := newTestBFetch(DefaultConfig())
+	var regs [isa.NumRegs]int64
+	// A committed branch chain with NO loads: BrTC learns, MHT stays empty.
+	commitBranch(b, 0x1000, true, 0x1100, 0x1100, &regs)
+	commitBranch(b, 0x1180, true, 0x1200, 0x1200, &regs)
+	commitBranch(b, 0x1000, true, 0x1100, 0x1100, &regs)
+	b.OnDecode(prefetch.DecodeInfo{PC: 0x1000, Op: isa.BNEZ, PredTaken: true, PredNext: 0x1100})
+	for cyc := uint64(0); cyc < 10; cyc++ {
+		b.Tick(cyc)
+	}
+	if b.Stats.MHTMisses == 0 {
+		t.Error("load-free blocks should count MHT misses")
+	}
+	if b.Stats.Candidates != 0 {
+		t.Error("no candidates expected without loads")
+	}
+}

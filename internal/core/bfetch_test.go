@@ -1,0 +1,366 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/branch"
+	"repro/internal/isa"
+	"repro/internal/prefetch"
+)
+
+func newTestBFetch(cfg Config) *BFetch {
+	bp := branch.New(branch.DefaultConfig())
+	conf := branch.NewConfidence(branch.DefaultConfidenceConfig())
+	return New(cfg, bp, conf)
+}
+
+func TestStorageReproducesTableI(t *testing.T) {
+	b := newTestBFetch(DefaultConfig())
+	kb := float64(b.StorageBits()) / 8 / 1024
+	// Table I: 12.84 KB total (§V: the 12.94 KB figure in the storage study
+	// includes rounding); accept the band around it.
+	if kb < 12.5 || kb > 13.3 {
+		t.Errorf("B-Fetch storage = %.2f KB, want ≈12.84 (Table I)", kb)
+	}
+
+	// Component-level checks against Table I.
+	checks := []struct {
+		name string
+		bits int
+		kb   float64
+	}{
+		{"BrTC", b.brtc.storageBits(), 2.06},
+		{"MHT", b.mht.storageBits(), 4.5},
+		{"ARF", b.arf.storageBits(), 0.156},
+		{"Filter", b.filter.storageBits(), 2.25},
+		{"Queue", b.queue.StorageBits(), 0.51},
+		{"PathConf", b.conf.StorageBits(), 2.0},
+	}
+	for _, c := range checks {
+		got := float64(c.bits) / 8 / 1024
+		if got < c.kb*0.9 || got > c.kb*1.1 {
+			t.Errorf("%s storage = %.3f KB, want ≈%.3f", c.name, got, c.kb)
+		}
+	}
+}
+
+func TestStorageScalePoints(t *testing.T) {
+	// Figure 15's four points: ~8.01, 9.65, 12.94, 19.46 KB.
+	wants := []struct {
+		scale float64
+		kb    float64
+	}{{0.25, 8.01}, {0.5, 9.65}, {1, 12.94}, {2, 19.46}}
+	for _, w := range wants {
+		b := newTestBFetch(DefaultConfig().WithTableScale(w.scale))
+		got := float64(b.StorageBits()) / 8 / 1024
+		if got < w.kb-0.7 || got > w.kb+0.7 {
+			t.Errorf("scale %.2f: %.2f KB, want ≈%.2f", w.scale, got, w.kb)
+		}
+	}
+}
+
+func TestBrTCLearnAndLookup(t *testing.T) {
+	b := newBrTC(256)
+	k := pathKey{branchPC: 0x1000, taken: true, targetPC: 0x1100}
+	if _, ok := b.lookup(k); ok {
+		t.Error("cold BrTC hit")
+	}
+	b.update(k, brtcEntry{nextBranchPC: 0x1140, nextTaken: 0x1100, nextIsCond: true})
+	e, ok := b.lookup(k)
+	if !ok || e.nextBranchPC != 0x1140 || !e.nextIsCond {
+		t.Errorf("lookup = %+v, %v", e, ok)
+	}
+	// Different direction is a different path: must miss.
+	if _, ok := b.lookup(pathKey{branchPC: 0x1000, taken: false, targetPC: 0x1100}); ok {
+		t.Error("direction not part of the index")
+	}
+}
+
+func TestMHTLearnsOffsets(t *testing.T) {
+	m := newMHT(128)
+	k := pathKey{branchPC: 0x2000, taken: true, targetPC: 0x2040}
+	// Branch committed with r5 = 0x8000; a load at 0x8018 off r5 follows.
+	m.learn(k, 5, 0x8000, 0x8018, 0x2048, 1)
+	e := m.lookup(k)
+	if e == nil {
+		t.Fatal("entry not allocated")
+	}
+	h := e.regsFor(5, false)
+	if h == nil || h.offset != 0x18 || h.loadPC != 0x2048 {
+		t.Fatalf("subentry = %+v", h)
+	}
+	// Next visit: register advanced by 0x40, load follows it.
+	m.learn(k, 5, 0x8040, 0x8058, 0x2048, 2)
+	h = e.regsFor(5, false)
+	if h.offset != 0x18 {
+		t.Errorf("offset drifted to %#x", h.offset)
+	}
+	if !h.loopDeltaValid || h.loopDelta != 0x40 {
+		t.Errorf("loop delta = %v %#x, want 0x40", h.loopDeltaValid, h.loopDelta)
+	}
+}
+
+func TestMHTPatternsSameBase(t *testing.T) {
+	m := newMHT(128)
+	k := pathKey{branchPC: 0x3000, taken: false, targetPC: 0x3004}
+	// Two loads off r2 in the same block visit: 0x8000 then 0x8080 (+2 blk).
+	m.learn(k, 2, 0x8000, 0x8000, 0x3008, 7)
+	m.learn(k, 2, 0x8000, 0x8080, 0x300C, 7)
+	// And one the next visit at -1 block.
+	m.learn(k, 2, 0x8000, 0x8000, 0x3008, 8)
+	m.learn(k, 2, 0x8000, 0x7FC0, 0x3010, 8)
+	h := m.lookup(k).regsFor(2, false)
+	if h.posPatt != 0b10 {
+		t.Errorf("posPatt = %b, want 10", h.posPatt)
+	}
+	if h.negPatt != 0b1 {
+		t.Errorf("negPatt = %b, want 1", h.negPatt)
+	}
+}
+
+func TestMHTOffsetOverflowInvalidates(t *testing.T) {
+	m := newMHT(128)
+	k := pathKey{branchPC: 0x4000, taken: true, targetPC: 0x4010}
+	m.learn(k, 3, 0, 1<<40, 0x4014, 1) // offset far beyond 16 bits
+	if h := m.lookup(k).regsFor(3, false); h != nil && h.valid {
+		t.Error("unrepresentable offset left a valid subentry")
+	}
+}
+
+func TestMHTThreeRegisterLimit(t *testing.T) {
+	m := newMHT(128)
+	k := pathKey{branchPC: 0x5000, taken: true, targetPC: 0x5010}
+	for r := uint8(1); r <= 4; r++ {
+		m.learn(k, r, 0x1000, 0x1008, uint64(0x5014+4*int(r)), 1)
+	}
+	e := m.lookup(k)
+	n := 0
+	for i := range e.regs {
+		if e.regs[i].valid {
+			n++
+		}
+	}
+	if n != regHistPerEntry {
+		t.Errorf("valid subentries = %d, want %d", n, regHistPerEntry)
+	}
+	if e.regsFor(4, false) != nil {
+		t.Error("fourth register should not have been allocated")
+	}
+}
+
+func TestARFDelayAndGuard(t *testing.T) {
+	a := newARF(2)
+	a.sample(isa.R(1), 100, 10, 0) // applies at 2
+	a.tick(0)
+	if a.read(1) != 0 {
+		t.Error("sample applied before latch delay")
+	}
+	a.tick(2)
+	if a.read(1) != 100 {
+		t.Error("sample not applied after delay")
+	}
+	// Older instruction (seq 5) completes late: must be rejected.
+	a.sample(isa.R(1), 55, 5, 3)
+	a.tick(10)
+	if a.read(1) != 100 {
+		t.Errorf("older write clobbered newer value: %d", a.read(1))
+	}
+	// Newer instruction wins.
+	a.sample(isa.R(1), 200, 11, 10)
+	a.tick(12)
+	if a.read(1) != 200 {
+		t.Errorf("newer write rejected: %d", a.read(1))
+	}
+	// r31 stays zero.
+	a.sample(isa.RZero, 9, 99, 12)
+	a.tick(20)
+	if a.read(uint8(isa.RZero)) != 0 {
+		t.Error("zero register updated")
+	}
+}
+
+func TestFilterLifecycle(t *testing.T) {
+	f := newLoadFilter(2048, 3)
+	pc := uint64(0x6000)
+	if !f.allow(pc) {
+		t.Fatal("fresh load blocked (initial confidence should equal threshold)")
+	}
+	// Useless feedback drives it below threshold.
+	f.useless(pc)
+	if f.allow(pc) {
+		t.Error("load with useless history still allowed")
+	}
+	if f.Blocked == 0 {
+		t.Error("block not counted")
+	}
+	// Useful feedback rehabilitates it.
+	f.useful(pc)
+	f.useful(pc)
+	if !f.allow(pc) {
+		t.Error("rehabilitated load still blocked")
+	}
+	// Saturation.
+	for i := 0; i < 100; i++ {
+		f.useful(pc)
+	}
+	if c := f.confidence(pc); c != 3*filterCounterMax {
+		t.Errorf("saturated confidence = %d", c)
+	}
+	for i := 0; i < 100; i++ {
+		f.useless(pc)
+	}
+	if c := f.confidence(pc); c != 0 {
+		t.Errorf("floored confidence = %d", c)
+	}
+}
+
+// commitBranch and commitLoad drive the learning path the way the core does.
+func commitBranch(b *BFetch, pc uint64, taken bool, next, target uint64, regs *[isa.NumRegs]int64) {
+	op := isa.BNEZ
+	b.OnCommit(prefetch.CommitInfo{
+		PC: pc, Inst: isa.Inst{Op: op, Rs: 1}, Taken: taken, Next: next,
+		TargetPC: target, Regs: regs,
+	})
+}
+
+func commitLoad(b *BFetch, pc uint64, base isa.Reg, ea uint64, regs *[isa.NumRegs]int64) {
+	b.OnCommit(prefetch.CommitInfo{
+		PC: pc, Inst: isa.Inst{Op: isa.LD, Rd: 9, Rs: base}, EA: ea, Regs: regs,
+	})
+}
+
+// TestEndToEndLookahead builds a two-block loop by feeding commits, then
+// checks that a decode event triggers lookahead prefetches computed from
+// ARF values.
+func TestEndToEndLookahead(t *testing.T) {
+	b := newTestBFetch(DefaultConfig())
+	var regs [isa.NumRegs]int64
+
+	// Loop: branch A (pc 0x1000, taken→0x1040) enters a block whose load
+	// uses r5+0x18; block ends at branch A again (self-loop).
+	const brA, blkA = 0x1000, 0x1040
+	regs[5] = 0x20000
+	for i := 0; i < 12; i++ {
+		commitBranch(b, brA, true, blkA, blkA, &regs)
+		commitLoad(b, blkA+8, isa.R(5), uint64(regs[5]+0x18), &regs)
+		regs[5] += 0x40
+	}
+
+	// Train the branch predictor so lookahead predicts "taken" confidently.
+	bp := b.bp
+	var ghr branch.GHR
+	for i := 0; i < 64; i++ {
+		p := bp.Lookup(brA, ghr)
+		bp.Update(brA, ghr, true, p)
+		b.conf.Update(brA, ghr, p.Taken)
+		ghr = ghr.Shift(true)
+	}
+
+	// Feed the ARF the current r5 value.
+	b.OnExec(isa.R(5), regs[5], 1000, 0)
+
+	// Decode the loop branch: lookahead should walk the self-loop and
+	// generate loop-strided prefetches for r5+0x18 (+ k*0x40).
+	b.OnDecode(prefetch.DecodeInfo{
+		PC: brA, Op: isa.BNEZ, Target: blkA, PredTaken: true, PredNext: blkA,
+		GHR: uint64(ghr),
+	})
+
+	var reqs []prefetch.Request
+	for cyc := uint64(3); cyc < 40; cyc++ {
+		reqs = append(reqs, b.Tick(cyc)...)
+	}
+	if len(reqs) < 3 {
+		t.Fatalf("lookahead produced %d prefetches, want several (stats %+v)", len(reqs), b.Stats)
+	}
+	want0 := uint64(regs[5] + 0x18)
+	if reqs[0].Addr != want0 {
+		t.Errorf("first prefetch %#x, want %#x (ARF value + learned offset)", reqs[0].Addr, want0)
+	}
+	// Loop detection must kick in and produce strided candidates.
+	if b.Stats.LoopsDetected == 0 {
+		t.Error("self-loop not detected")
+	}
+	if b.Stats.LoopPrefetches == 0 {
+		t.Error("no loop-term prefetches")
+	}
+	seen := map[uint64]bool{}
+	for _, r := range reqs {
+		seen[r.Addr] = true
+	}
+	if !seen[want0+0x40] {
+		t.Errorf("missing loop-strided prefetch %#x; got %v", want0+0x40, reqs)
+	}
+	if b.Stats.LookaheadStarts != 1 {
+		t.Errorf("lookahead starts = %d", b.Stats.LookaheadStarts)
+	}
+}
+
+func TestLookaheadStopsOnColdBrTC(t *testing.T) {
+	b := newTestBFetch(DefaultConfig())
+	b.OnDecode(prefetch.DecodeInfo{PC: 0x9000, Op: isa.BNEZ, PredTaken: true, PredNext: 0x9100})
+	for cyc := uint64(0); cyc < 10; cyc++ {
+		b.Tick(cyc)
+	}
+	if b.Stats.BrTCMisses != 1 {
+		t.Errorf("BrTC misses = %d, want 1", b.Stats.BrTCMisses)
+	}
+	if b.la.active {
+		t.Error("lookahead still active after cold BrTC")
+	}
+}
+
+func TestFilterSuppressesBadLoads(t *testing.T) {
+	cfg := DefaultConfig()
+	b := newTestBFetch(cfg)
+	var regs [isa.NumRegs]int64
+	const brA, blkA = 0x1000, 0x1040
+	loadPC := uint64(blkA + 8)
+	for i := 0; i < 4; i++ {
+		commitBranch(b, brA, true, blkA, blkA, &regs)
+		commitLoad(b, loadPC, isa.R(5), 0x5000, &regs)
+	}
+	// Hammer the filter with useless feedback for this load.
+	for i := 0; i < 10; i++ {
+		b.PrefetchUseless(loadPC, 0)
+	}
+	b.OnDecode(prefetch.DecodeInfo{PC: brA, Op: isa.BNEZ, PredTaken: true, PredNext: blkA})
+	var reqs []prefetch.Request
+	for cyc := uint64(0); cyc < 20; cyc++ {
+		reqs = append(reqs, b.Tick(cyc)...)
+	}
+	if len(reqs) != 0 {
+		t.Errorf("filtered load still prefetched: %v", reqs)
+	}
+	if b.Stats.Filtered == 0 {
+		t.Error("no filter suppressions counted")
+	}
+}
+
+func TestAblationSwitches(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableFilter = false
+	cfg.EnableLoopPrefetch = false
+	cfg.EnablePatterns = false
+	b := newTestBFetch(cfg)
+	var regs [isa.NumRegs]int64
+	const brA, blkA = 0x1000, 0x1040
+	for i := 0; i < 4; i++ {
+		commitBranch(b, brA, true, blkA, blkA, &regs)
+		commitLoad(b, blkA+8, isa.R(5), 0x5018, &regs)
+	}
+	for i := 0; i < 10; i++ {
+		b.PrefetchUseless(blkA+8, 0)
+	}
+	b.OnDecode(prefetch.DecodeInfo{PC: brA, Op: isa.BNEZ, PredTaken: true, PredNext: blkA})
+	var reqs []prefetch.Request
+	for cyc := uint64(0); cyc < 20; cyc++ {
+		reqs = append(reqs, b.Tick(cyc)...)
+	}
+	if len(reqs) == 0 {
+		t.Error("with the filter disabled, prefetches should flow")
+	}
+	if b.Stats.LoopPrefetches != 0 || b.Stats.PatternExtra != 0 {
+		t.Error("disabled features still active")
+	}
+}

@@ -1,0 +1,82 @@
+package cpu
+
+// Config sizes the out-of-order core. The defaults reproduce the paper's
+// Table II baseline: a 4-wide machine with a 192-entry ROB.
+type Config struct {
+	Width      int // fetch/dispatch/issue/commit width
+	ROBEntries int
+	CachePorts int // loads issued to the L1D per cycle
+
+	// FrontEndDelay is the fetch→dispatch latency in cycles; together with
+	// RedirectPenalty it sets the branch misprediction penalty.
+	FrontEndDelay   uint64
+	RedirectPenalty uint64
+
+	// FetchQueue is the decoupling buffer between fetch and dispatch.
+	FetchQueue int
+
+	// MulLatency is the integer multiply latency; all other ALU ops take
+	// one cycle.
+	MulLatency uint64
+}
+
+// DefaultConfig is the Table II core.
+func DefaultConfig() Config {
+	return Config{
+		Width:           4,
+		ROBEntries:      192,
+		CachePorts:      2,
+		FrontEndDelay:   3,
+		RedirectPenalty: 3,
+		FetchQueue:      16,
+		MulLatency:      3,
+	}
+}
+
+// WithWidth returns the configuration adjusted for an n-wide pipeline, used
+// by the Figure 14 sensitivity study. Cache ports scale with width as wider
+// machines need more load bandwidth.
+func (c Config) WithWidth(n int) Config {
+	c.Width = n
+	c.FetchQueue = 4 * n
+	c.CachePorts = max(1, n/2)
+	return c
+}
+
+// Stats aggregates one core's execution counters.
+type Stats struct {
+	Cycles    uint64
+	Committed uint64
+	Fetched   uint64
+	Squashed  uint64 // instructions flushed on mispredictions
+
+	BranchesCommitted uint64
+	BranchMispredicts uint64
+
+	LoadsCommitted  uint64
+	StoresCommitted uint64
+	LoadL1Hits      uint64
+	LoadL1Misses    uint64
+	StoreForwards   uint64
+	WrongPathLoads  uint64
+
+	PrefetchIssued  uint64 // requests accepted by the hierarchy
+	PrefetchDropped uint64 // requests dropped as already resident
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// BranchMissRate returns committed-branch mispredictions per committed
+// branch.
+func (s Stats) BranchMissRate() float64 {
+	if s.BranchesCommitted == 0 {
+		return 0
+	}
+	return float64(s.BranchMispredicts) / float64(s.BranchesCommitted)
+}

@@ -1,0 +1,741 @@
+// Package cpu is the cycle-level out-of-order core model: a speculative,
+// register-renaming machine in the style of gem5's O3 CPU, scoped to what a
+// data-prefetching study needs. It executes wrong-path instructions (so
+// speculative loads pollute the caches exactly as on hardware), resolves
+// branches out of order with full squash-and-redirect recovery, learns its
+// branch predictor and prefetcher at commit in program order, and drives a
+// prefetch engine through decode, commit, access and per-cycle tick hooks.
+//
+// Deliberate simplifications, documented here and in DESIGN.md: the issue
+// window is the ROB (no separate issue-queue capacity), functional units are
+// unbounded except for L1D ports, and memory disambiguation is conservative
+// (a load waits for every older store address). None of these interact with
+// the prefetcher mechanisms under study.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+// ExecObserver is implemented by prefetchers that sample execute-stage
+// register writebacks (B-Fetch's Alternate Register File feed). The core
+// delivers every completing register write, including wrong-path ones, with
+// the instruction's sequence number for the ARF's ordering guard.
+type ExecObserver interface {
+	OnExec(reg isa.Reg, val int64, seq uint64, now uint64)
+}
+
+type entryState uint8
+
+const (
+	sWait   entryState = iota // waiting for source operands
+	sReady                    // operands ready, not yet issued
+	sIssued                   // executing (in flight)
+	sDone                     // complete, awaiting commit
+)
+
+// ref names a ROB entry robustly: sequence numbers are never reused, so a
+// stale ref (to a squashed entry whose slot was reallocated) fails the
+// seq-match check instead of aliasing the new occupant.
+type ref struct {
+	slot int
+	seq  uint64
+}
+
+type ratEntry struct {
+	ref
+	valid bool
+}
+
+type consRef struct {
+	ref
+	srcIdx int
+}
+
+type robEntry struct {
+	seq   uint64 // 0 = free/squashed
+	slot  int
+	idx   int // instruction index
+	pc    uint64
+	inst  isa.Inst
+	state entryState
+
+	nsrc   int
+	srcVal [2]int64
+	cons   []consRef
+
+	destVal int64
+	ea      uint64
+	eaValid bool
+	stData  int64
+	doneAt  uint64
+	faulted bool
+
+	// Control-flow bookkeeping.
+	predTaken   bool
+	predNext    int // predicted next instruction index; -1 = fetch stalled
+	ghr         branch.GHR
+	pred        branch.Pred
+	ratSnap     [isa.NumRegs]ratEntry
+	hasSnap     bool
+	actualTaken bool
+	actualNext  int
+}
+
+type fqEntry struct {
+	idx       int
+	pc        uint64
+	fetchedAt uint64
+	predTaken bool
+	predNext  int
+	ghr       branch.GHR
+	pred      branch.Pred
+}
+
+// Core is one simulated out-of-order core.
+type Core struct {
+	cfg  Config
+	prog *isa.Program
+	mem  *mem.Memory
+	hier *cache.Hierarchy
+	bp   *branch.Predictor
+	conf *branch.Confidence
+	pf   prefetch.Prefetcher
+	pfEx ExecObserver // non-nil if pf wants execute samples
+
+	cregs [isa.NumRegs]int64
+	rat   [isa.NumRegs]ratEntry
+
+	rob      []robEntry
+	headSlot int
+	count    int
+	nextSeq  uint64 // monotonically increasing; never reused
+
+	ready     []ref // entries with state sReady
+	inflight  []ref // issued, waiting for doneAt
+	pendLoads []ref // loads blocked on disambiguation or ports
+	storeQ    []ref // uncommitted stores, oldest first (disambiguation)
+
+	fq            []fqEntry
+	fetchPC       int // next instruction index to fetch; -1 = stalled
+	fetchResumeAt uint64
+	specGHR       branch.GHR
+
+	halted bool
+	err    error
+
+	Stats Stats
+}
+
+// New builds a core at the program entry point.
+func New(cfg Config, prog *isa.Program, m *mem.Memory, hier *cache.Hierarchy,
+	bp *branch.Predictor, conf *branch.Confidence, pf prefetch.Prefetcher) *Core {
+	c := &Core{
+		cfg:  cfg,
+		prog: prog,
+		mem:  m,
+		hier: hier,
+		bp:   bp,
+		conf: conf,
+		pf:   pf,
+		rob:  make([]robEntry, cfg.ROBEntries),
+	}
+	c.pfEx, _ = pf.(ExecObserver)
+	c.nextSeq = 1
+	return c
+}
+
+// Halted reports whether the program has committed HALT (or faulted).
+func (c *Core) Halted() bool { return c.halted }
+
+// Err returns the architectural fault that stopped the core, if any.
+func (c *Core) Err() error { return c.err }
+
+// Regs returns the committed architectural register file.
+func (c *Core) Regs() [isa.NumRegs]int64 { return c.cregs }
+
+// Hierarchy returns the core's cache stack.
+func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// Predictor returns the core's branch predictor.
+func (c *Core) Predictor() *branch.Predictor { return c.bp }
+
+// Cycle advances the core by one clock. The caller owns the global clock so
+// multiple cores can share LLC and DRAM coherently.
+func (c *Core) Cycle(now uint64) {
+	if c.halted {
+		return
+	}
+	c.Stats.Cycles++
+	c.commit(now)
+	if c.halted {
+		return
+	}
+	c.complete(now)
+	c.issue(now)
+	c.dispatch(now)
+	c.fetch(now)
+	c.prefetchTick(now)
+}
+
+func (c *Core) entry(r ref) *robEntry {
+	e := &c.rob[r.slot]
+	if e.seq != r.seq || r.seq == 0 {
+		return nil
+	}
+	return e
+}
+
+func (c *Core) tailSlot() int { return (c.headSlot + c.count) % len(c.rob) }
+
+// ---------------------------------------------------------------- commit --
+
+func (c *Core) commit(now uint64) {
+	for n := 0; n < c.cfg.Width && c.count > 0; n++ {
+		e := &c.rob[c.headSlot]
+		if e.state != sDone || e.doneAt > now {
+			return
+		}
+		if e.faulted {
+			c.err = fmt.Errorf("cpu: fault at pc %#x (%s)", e.pc, e.inst)
+			c.halted = true
+			return
+		}
+		in := e.inst
+
+		// Architectural effects.
+		if in.HasDest() {
+			c.cregs[in.DestReg()] = e.destVal
+		}
+		switch {
+		case in.IsStore():
+			c.mem.WriteInt64(e.ea, e.stData)
+			c.hier.Store(e.ea, now)
+			c.pf.OnAccess(prefetch.AccessInfo{PC: e.pc, Addr: e.ea, Write: true})
+			c.Stats.StoresCommitted++
+		case in.IsLoad():
+			c.Stats.LoadsCommitted++
+		case in.IsCondBranch():
+			c.Stats.BranchesCommitted++
+			if e.predTaken != e.actualTaken {
+				c.Stats.BranchMispredicts++
+			}
+			c.bp.Resolve(e.predTaken, e.actualTaken)
+			c.bp.Update(e.pc, e.ghr, e.actualTaken, e.pred)
+			c.conf.Update(e.pc, e.ghr, e.predTaken == e.actualTaken)
+		case in.Op == isa.JR:
+			c.bp.UpdateIndirect(e.pc, c.prog.PC(e.actualNext))
+		}
+
+		// Rename table release.
+		if in.HasDest() {
+			r := in.DestReg()
+			if c.rat[r].valid && c.rat[r].seq == e.seq {
+				c.rat[r].valid = false
+			}
+		}
+
+		next := uint64(0)
+		if e.actualNext >= 0 && e.actualNext < c.prog.Len() {
+			next = c.prog.PC(e.actualNext)
+		}
+		var targetPC uint64
+		if in.IsDirect() {
+			targetPC = c.prog.PC(in.Target)
+		}
+		c.pf.OnCommit(prefetch.CommitInfo{
+			PC: e.pc, Inst: in, EA: e.ea, Taken: e.actualTaken, Next: next,
+			TargetPC: targetPC, Regs: &c.cregs,
+		})
+
+		c.Stats.Committed++
+		if in.IsStore() && len(c.storeQ) > 0 {
+			// Stores commit in order: the queue head is this store.
+			c.storeQ = c.storeQ[1:]
+		}
+		e.seq = 0
+		c.headSlot = (c.headSlot + 1) % len(c.rob)
+		c.count--
+
+		if in.Op == isa.HALT {
+			c.halted = true
+			return
+		}
+	}
+}
+
+// -------------------------------------------------------------- complete --
+
+func (c *Core) complete(now uint64) {
+	// Collect finishing entries, oldest first, so a squash from an older
+	// branch naturally invalidates younger resolutions.
+	var done []ref
+	for _, r := range c.inflight {
+		if e := c.entry(r); e != nil && e.state == sIssued && e.doneAt <= now {
+			done = append(done, r)
+		}
+	}
+	for i := 1; i < len(done); i++ {
+		for j := i; j > 0 && done[j].seq < done[j-1].seq; j-- {
+			done[j], done[j-1] = done[j-1], done[j]
+		}
+	}
+	for _, r := range done {
+		e := c.entry(r)
+		if e == nil || e.state != sIssued {
+			continue // squashed by an older resolution this cycle
+		}
+		e.state = sDone
+		c.finish(e, now)
+	}
+	c.inflight = c.filterState(c.inflight, sIssued)
+}
+
+// finish applies completion effects: value broadcast and branch resolution.
+func (c *Core) finish(e *robEntry, now uint64) {
+	in := e.inst
+	if in.HasDest() {
+		c.broadcast(e)
+		if c.pfEx != nil {
+			c.pfEx.OnExec(in.DestReg(), e.destVal, e.seq, now)
+		}
+	}
+	if in.IsControl() && e.actualNext != e.predNext {
+		c.recover(e, now)
+	}
+}
+
+func (c *Core) broadcast(e *robEntry) {
+	for _, cr := range e.cons {
+		d := c.entry(cr.ref)
+		if d == nil || d.state != sWait {
+			continue
+		}
+		d.srcVal[cr.srcIdx] = e.destVal
+		d.nsrc--
+		if d.nsrc == 0 {
+			d.state = sReady
+			c.ready = append(c.ready, cr.ref)
+		}
+	}
+	e.cons = e.cons[:0]
+}
+
+// recover squashes everything younger than the resolving control
+// instruction and redirects fetch.
+func (c *Core) recover(e *robEntry, now uint64) {
+	for c.count > 0 {
+		ts := (c.tailSlot() + len(c.rob) - 1) % len(c.rob)
+		t := &c.rob[ts]
+		if t.seq <= e.seq {
+			break
+		}
+		c.Stats.Squashed++
+		if t.inst.IsLoad() && t.eaValid {
+			// A speculative load that already reached the memory system:
+			// its cache side-effects (fills, evictions) persist, as on
+			// real hardware.
+			c.Stats.WrongPathLoads++
+		}
+		t.seq = 0
+		t.cons = t.cons[:0]
+		c.count--
+	}
+	// The fetch queue holds only instructions younger than any ROB entry.
+	c.Stats.Squashed += uint64(len(c.fq))
+	c.fq = c.fq[:0]
+
+	// Drop squashed stores from the disambiguation queue (they are at the
+	// tail: stores enter in program order).
+	for len(c.storeQ) > 0 && c.storeQ[len(c.storeQ)-1].seq > e.seq {
+		c.storeQ = c.storeQ[:len(c.storeQ)-1]
+	}
+
+	// Restore the rename table from the branch's snapshot, dropping
+	// mappings to entries that committed while the branch was in flight.
+	for r := range c.rat {
+		s := e.ratSnap[r]
+		if s.valid && c.entry(s.ref) == nil {
+			s.valid = false
+		}
+		c.rat[r] = s
+	}
+
+	c.ready = c.filterState(c.ready, sReady)
+	c.pendLoads = c.filterState(c.pendLoads, sIssued)
+
+	// Redirect fetch.
+	if e.actualNext >= 0 && e.actualNext < c.prog.Len() {
+		c.fetchPC = e.actualNext
+	} else {
+		c.fetchPC = -1 // fault propagates when/if e commits
+	}
+	c.fetchResumeAt = now + c.cfg.RedirectPenalty
+	if e.inst.IsCondBranch() {
+		c.specGHR = e.ghr.Shift(e.actualTaken)
+	} else {
+		c.specGHR = e.ghr
+	}
+}
+
+// filterState keeps refs whose entries are live and in the wanted state.
+func (c *Core) filterState(refs []ref, want entryState) []ref {
+	out := refs[:0]
+	for _, r := range refs {
+		if e := c.entry(r); e != nil && e.state == want {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ----------------------------------------------------------------- issue --
+
+func opLatency(op isa.Op, mulLat uint64) uint64 {
+	switch op {
+	case isa.MUL, isa.MULI:
+		return mulLat
+	default:
+		return 1
+	}
+}
+
+func (c *Core) issue(now uint64) {
+	ports := c.cfg.CachePorts
+
+	// Blocked loads retry first (they already consumed an issue slot).
+	pend := c.pendLoads[:0]
+	for _, r := range c.pendLoads {
+		e := c.entry(r)
+		if e == nil || e.state != sIssued {
+			continue
+		}
+		if ports > 0 && c.tryLoad(e, now) {
+			ports--
+		} else {
+			pend = append(pend, r)
+		}
+	}
+	c.pendLoads = pend
+
+	if len(c.ready) == 0 {
+		return
+	}
+	// Oldest-first selection.
+	for i := 1; i < len(c.ready); i++ {
+		for j := i; j > 0 && c.ready[j].seq < c.ready[j-1].seq; j-- {
+			c.ready[j], c.ready[j-1] = c.ready[j-1], c.ready[j]
+		}
+	}
+	issued := 0
+	rest := c.ready[:0]
+	for _, r := range c.ready {
+		e := c.entry(r)
+		if e == nil || e.state != sReady {
+			continue
+		}
+		if issued >= c.cfg.Width {
+			rest = append(rest, r)
+			continue
+		}
+		issued++
+		c.execute(e, now, &ports)
+	}
+	c.ready = rest
+}
+
+// execute starts one entry. Loads may divert to the pending list.
+func (c *Core) execute(e *robEntry, now uint64, ports *int) {
+	in := e.inst
+	e.state = sIssued
+	r := ref{slot: e.slot, seq: e.seq}
+	switch {
+	case in.IsLoad():
+		e.ea = uint64(e.srcVal[0] + in.Imm)
+		e.eaValid = true
+		if !(*ports > 0 && c.tryLoad(e, now)) {
+			c.pendLoads = append(c.pendLoads, r)
+			return
+		}
+		*ports--
+		return // tryLoad put it in flight
+	case in.IsStore():
+		e.ea = uint64(e.srcVal[0] + in.Imm)
+		e.eaValid = true
+		e.stData = e.srcVal[1]
+		e.doneAt = now + 1
+	case in.IsControl():
+		e.actualTaken = emu.BranchTaken(in.Op, e.srcVal[0])
+		switch {
+		case in.Op == isa.JR:
+			tgt, ok := c.prog.Index(uint64(e.srcVal[0]))
+			if ok {
+				e.actualNext = tgt
+			} else {
+				e.actualNext = -2
+				e.faulted = true
+			}
+		case e.actualTaken:
+			e.actualNext = in.Target
+		default:
+			e.actualNext = e.idx + 1
+		}
+		e.doneAt = now + 1
+	default:
+		v, ok := emu.Eval(in.Op, e.srcVal[0], e.srcVal[1], in.Imm)
+		if !ok {
+			e.faulted = true
+		}
+		e.destVal = v
+		e.doneAt = now + opLatency(in.Op, c.cfg.MulLatency) - 1
+	}
+	c.inflight = append(c.inflight, r)
+}
+
+// tryLoad attempts to send a load to memory; returns false if blocked by
+// disambiguation. A port must be available (checked by the caller).
+func (c *Core) tryLoad(e *robEntry, now uint64) bool {
+	fwd, val, blocked := c.disambiguate(e)
+	if blocked {
+		return false
+	}
+	if fwd {
+		e.destVal = val
+		e.doneAt = now + 1
+		c.Stats.StoreForwards++
+	} else {
+		e.destVal = c.mem.ReadInt64(e.ea)
+		done, hit := c.hier.Load(e.ea, now)
+		e.doneAt = done
+		if hit {
+			c.Stats.LoadL1Hits++
+		} else {
+			c.Stats.LoadL1Misses++
+		}
+		c.pf.OnAccess(prefetch.AccessInfo{PC: e.pc, Addr: e.ea, Hit: hit})
+	}
+	c.inflight = append(c.inflight, ref{slot: e.slot, seq: e.seq})
+	return true
+}
+
+// disambiguate scans the in-flight stores older than the load, youngest
+// first. It returns forwarding data if the nearest older store to the exact
+// address has its data, or blocked if any intervening store address is
+// unknown or overlaps inexactly.
+func (c *Core) disambiguate(e *robEntry) (fwd bool, val int64, blocked bool) {
+	for i := len(c.storeQ) - 1; i >= 0; i-- {
+		s := c.entry(c.storeQ[i])
+		if s == nil || s.seq >= e.seq {
+			continue
+		}
+		if !s.eaValid {
+			return false, 0, true
+		}
+		if rangesOverlap(s.ea, e.ea) {
+			if s.ea == e.ea {
+				return true, s.stData, false
+			}
+			return false, 0, true // partial overlap: wait for the store to drain
+		}
+	}
+	return false, 0, false
+}
+
+func rangesOverlap(a, b uint64) bool {
+	return a < b+8 && b < a+8
+}
+
+// -------------------------------------------------------------- dispatch --
+
+func (c *Core) dispatch(now uint64) {
+	for n := 0; n < c.cfg.Width; n++ {
+		if len(c.fq) == 0 || c.count == len(c.rob) {
+			return
+		}
+		f := c.fq[0]
+		if f.fetchedAt+c.cfg.FrontEndDelay > now {
+			return
+		}
+		c.fq = c.fq[1:]
+
+		seq := c.nextSeq
+		c.nextSeq++
+		slot := c.tailSlot()
+		e := &c.rob[slot]
+		*e = robEntry{
+			seq: seq, slot: slot, idx: f.idx, pc: f.pc, inst: c.prog.Insts[f.idx],
+			predTaken: f.predTaken, predNext: f.predNext, ghr: f.ghr, pred: f.pred,
+			actualNext: f.idx + 1, cons: e.cons[:0],
+		}
+		c.count++
+		in := e.inst
+
+		// Rename sources.
+		var srcs [2]isa.Reg
+		regs := in.SrcRegs(srcs[:0])
+		for i, reg := range regs {
+			if reg == isa.RZero {
+				e.srcVal[i] = 0
+				continue
+			}
+			m := c.rat[reg]
+			if !m.valid {
+				e.srcVal[i] = c.cregs[reg]
+				continue
+			}
+			p := c.entry(m.ref)
+			if p == nil {
+				e.srcVal[i] = c.cregs[reg]
+				continue
+			}
+			if p.state == sDone {
+				e.srcVal[i] = p.destVal
+				continue
+			}
+			p.cons = append(p.cons, consRef{ref: ref{slot: slot, seq: seq}, srcIdx: i})
+			e.nsrc++
+		}
+
+		// Rename destination.
+		if in.HasDest() {
+			c.rat[in.DestReg()] = ratEntry{ref: ref{slot: slot, seq: seq}, valid: true}
+		}
+
+		if in.IsStore() {
+			c.storeQ = append(c.storeQ, ref{slot: slot, seq: seq})
+		}
+
+		// Control instructions snapshot the RAT for recovery and feed the
+		// prefetcher's decoded-branch register.
+		if in.IsControl() {
+			e.ratSnap = c.rat
+			e.hasSnap = true
+			var target uint64
+			if in.IsDirect() {
+				target = c.prog.PC(in.Target)
+			}
+			var predNextPC uint64
+			if f.predNext >= 0 && f.predNext < c.prog.Len() {
+				predNextPC = c.prog.PC(f.predNext)
+			}
+			c.pf.OnDecode(prefetch.DecodeInfo{
+				PC: f.pc, Op: in.Op, Target: target,
+				PredTaken: f.predTaken, PredNext: predNextPC, GHR: uint64(f.ghr),
+			})
+		}
+
+		// Instructions with no pending sources and no work are born done.
+		if e.nsrc == 0 {
+			switch {
+			case in.Op == isa.NOP, in.Op == isa.HALT:
+				e.state = sDone
+				e.doneAt = now
+			case in.Op == isa.JMP:
+				e.state = sDone
+				e.doneAt = now
+				e.actualTaken = true
+				e.actualNext = in.Target
+			default:
+				e.state = sReady
+				c.ready = append(c.ready, ref{slot: slot, seq: seq})
+			}
+		}
+	}
+}
+
+// ----------------------------------------------------------------- fetch --
+
+func (c *Core) fetch(now uint64) {
+	if now < c.fetchResumeAt || c.fetchPC < 0 {
+		return
+	}
+	for n := 0; n < c.cfg.Width; n++ {
+		if len(c.fq) >= c.cfg.FetchQueue {
+			return
+		}
+		idx := c.fetchPC
+		if idx < 0 || idx >= c.prog.Len() {
+			c.fetchPC = -1
+			return
+		}
+		in := c.prog.Insts[idx]
+		pc := c.prog.PC(idx)
+		f := fqEntry{idx: idx, pc: pc, fetchedAt: now, predNext: idx + 1, ghr: c.specGHR}
+		c.Stats.Fetched++
+
+		redirect := false
+		switch {
+		case in.IsCondBranch():
+			f.pred = c.bp.Lookup(pc, c.specGHR)
+			f.predTaken = f.pred.Taken
+			if f.predTaken {
+				f.predNext = in.Target
+				redirect = true
+			}
+			c.specGHR = c.specGHR.Shift(f.predTaken)
+		case in.Op == isa.JMP:
+			f.predTaken = true
+			f.predNext = in.Target
+			redirect = true
+		case in.Op == isa.JR:
+			f.predTaken = true
+			if tgt, ok := c.bp.PredictIndirect(pc); ok {
+				if tidx, valid := c.prog.Index(tgt); valid {
+					f.predNext = tidx
+					redirect = true
+				} else {
+					f.predNext = -1
+				}
+			} else {
+				f.predNext = -1 // stall until the JR resolves
+			}
+		case in.Op == isa.HALT:
+			f.predNext = -1
+		}
+
+		c.fq = append(c.fq, f)
+		switch {
+		case f.predNext == -1:
+			c.fetchPC = -1
+			return
+		case redirect:
+			c.fetchPC = f.predNext
+			return // taken control ends the fetch group
+		default:
+			c.fetchPC = idx + 1
+		}
+	}
+}
+
+// ------------------------------------------------------------- prefetch --
+
+func (c *Core) prefetchTick(now uint64) {
+	for _, r := range c.pf.Tick(now) {
+		if c.hier.Prefetch(r.Addr, r.LoadPC, now) {
+			c.Stats.PrefetchIssued++
+		} else {
+			c.Stats.PrefetchDropped++
+		}
+	}
+}
+
+// Run drives the core on its own private clock until it halts, commits
+// maxInsts, or exceeds maxCycles; single-core convenience used by tests and
+// examples. It returns the number of cycles consumed.
+func (c *Core) Run(maxInsts, maxCycles uint64) (uint64, error) {
+	start := c.Stats.Cycles
+	for now := c.Stats.Cycles; !c.halted && c.Stats.Committed < maxInsts && c.Stats.Cycles-start < maxCycles; now++ {
+		c.Cycle(now)
+		if c.err != nil {
+			break
+		}
+	}
+	return c.Stats.Cycles - start, c.err
+}

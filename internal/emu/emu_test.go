@@ -1,0 +1,293 @@
+package emu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func run(t *testing.T, src string, m *mem.Memory, max uint64) *CPU {
+	t.Helper()
+	p := isa.MustAssemble(src)
+	if m == nil {
+		m = mem.New()
+	}
+	c := New(p, m)
+	if _, err := c.Run(max); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !c.Halted {
+		t.Fatalf("program did not halt within %d instructions", max)
+	}
+	return c
+}
+
+func TestArithmetic(t *testing.T) {
+	c := run(t, `
+		movi r1, 6
+		movi r2, 7
+		mul  r3, r1, r2
+		add  r4, r3, r1
+		sub  r5, r4, r2
+		xor  r6, r1, r2
+		and  r7, r1, r2
+		or   r8, r1, r2
+		halt
+	`, nil, 100)
+	checks := map[isa.Reg]int64{3: 42, 4: 48, 5: 41, 6: 1, 7: 6, 8: 7}
+	for r, want := range checks {
+		if c.Regs[r] != want {
+			t.Errorf("r%d = %d, want %d", r, c.Regs[r], want)
+		}
+	}
+}
+
+func TestShiftsAndCompares(t *testing.T) {
+	c := run(t, `
+		movi r1, -16
+		srai r2, r1, 2
+		srli r3, r1, 60
+		slli r4, r1, 1
+		cmplt  r5, r1, r31
+		cmple  r6, r31, r1
+		cmpeq  r7, r1, r1
+		cmplti r8, r1, 0
+		cmpeqi r9, r1, -16
+		halt
+	`, nil, 100)
+	if c.Regs[2] != -4 {
+		t.Errorf("sra: %d", c.Regs[2])
+	}
+	if c.Regs[3] != 15 {
+		t.Errorf("srl: %d", c.Regs[3])
+	}
+	if c.Regs[4] != -32 {
+		t.Errorf("sll: %d", c.Regs[4])
+	}
+	if c.Regs[5] != 1 || c.Regs[6] != 0 || c.Regs[7] != 1 || c.Regs[8] != 1 || c.Regs[9] != 1 {
+		t.Errorf("compares: %v %v %v %v %v", c.Regs[5], c.Regs[6], c.Regs[7], c.Regs[8], c.Regs[9])
+	}
+}
+
+func TestShiftAmountMasked(t *testing.T) {
+	c := run(t, `
+		movi r1, 1
+		movi r2, 65       ; 65 & 63 == 1
+		sll  r3, r1, r2
+		halt
+	`, nil, 100)
+	if c.Regs[3] != 2 {
+		t.Errorf("sll by 65 = %d, want 2", c.Regs[3])
+	}
+}
+
+func TestZeroRegister(t *testing.T) {
+	c := run(t, `
+		movi r31, 99
+		add  r1, r31, r31
+		halt
+	`, nil, 100)
+	if c.Regs[31] != 0 || c.Regs[1] != 0 {
+		t.Errorf("r31 = %d, r1 = %d", c.Regs[31], c.Regs[1])
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	m := mem.New()
+	m.WriteInt64(0x2000, 1234)
+	c := run(t, `
+		movi r1, 0x2000
+		ld   r2, 0(r1)
+		addi r2, r2, 1
+		st   r2, 8(r1)
+		halt
+	`, m, 100)
+	if c.Regs[2] != 1235 {
+		t.Errorf("r2 = %d", c.Regs[2])
+	}
+	if v := m.ReadInt64(0x2008); v != 1235 {
+		t.Errorf("mem = %d", v)
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	c := run(t, `
+		movi r1, 5
+		movi r2, 0
+	loop:
+		add  r2, r2, r1
+		addi r1, r1, -1
+		bnez r1, loop
+		halt
+	`, nil, 1000)
+	if c.Regs[2] != 15 {
+		t.Errorf("sum = %d, want 15", c.Regs[2])
+	}
+	if c.Retired != 2+5*3+1 {
+		t.Errorf("retired = %d", c.Retired)
+	}
+}
+
+func TestAllBranchConditions(t *testing.T) {
+	c := run(t, `
+		movi r1, -3
+		movi r10, 0
+		bltz r1, a
+		halt
+	a:	ori  r10, r10, 1
+		bgez r1, bad
+		ori  r10, r10, 2
+		movi r2, 0
+		beqz r2, b
+		halt
+	b:	ori  r10, r10, 4
+		bnez r2, bad
+		ori  r10, r10, 8
+		halt
+	bad:
+		movi r10, -1
+		halt
+	`, nil, 100)
+	if c.Regs[10] != 15 {
+		t.Errorf("branch flags = %d, want 15", c.Regs[10])
+	}
+}
+
+func TestJmpAndJr(t *testing.T) {
+	c0 := run(t, `
+		jmp over
+		movi r1, 111     ; skipped
+	over:
+		movi r2, 22
+		halt
+	`, nil, 100)
+	if c0.Regs[1] != 0 || c0.Regs[2] != 22 {
+		t.Errorf("jmp: r1=%d r2=%d", c0.Regs[1], c0.Regs[2])
+	}
+	// JR through a register holding the byte address of instruction 4.
+	b := isa.NewBuilder()
+	done := b.NewLabel()
+	b.Movi(isa.R(1), int64(isa.DefaultTextBase)+4*4) // address of inst 4
+	b.Jr(isa.R(1))
+	b.Movi(isa.R(2), 55) // skipped
+	b.Movi(isa.R(2), 66) // skipped
+	b.Bind(done)
+	b.Movi(isa.R(3), 77)
+	b.Halt()
+	prog := b.MustProgram()
+	c := New(prog, mem.New())
+	if _, err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[2] != 0 || c.Regs[3] != 77 {
+		t.Errorf("jr: r2=%d r3=%d", c.Regs[2], c.Regs[3])
+	}
+}
+
+func TestJrInvalidTarget(t *testing.T) {
+	c := New(isa.MustAssemble("movi r1, 3\njr r1\nhalt"), mem.New())
+	_, err := c.Run(10)
+	if err == nil {
+		t.Error("invalid jr target accepted")
+	}
+}
+
+func TestStepAfterHalt(t *testing.T) {
+	c := New(isa.MustAssemble("halt"), mem.New())
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(); !errors.Is(err, ErrHalted) {
+		t.Errorf("err = %v, want ErrHalted", err)
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	c := New(isa.MustAssemble("loop: jmp loop"), mem.New())
+	n, err := c.Run(500)
+	if err != nil || n != 500 {
+		t.Errorf("n=%d err=%v", n, err)
+	}
+	if c.Halted {
+		t.Error("infinite loop halted")
+	}
+}
+
+func TestOnRetireSequence(t *testing.T) {
+	p := isa.MustAssemble(`
+		movi r1, 2
+	loop:
+		addi r1, r1, -1
+		bnez r1, loop
+		halt
+	`)
+	c := New(p, mem.New())
+	var trace []Retire
+	c.OnRetire = func(r Retire) { trace = append(trace, r) }
+	if _, err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	wantIdx := []int{0, 1, 2, 1, 2, 3}
+	if len(trace) != len(wantIdx) {
+		t.Fatalf("trace len = %d, want %d", len(trace), len(wantIdx))
+	}
+	for i, r := range trace {
+		if r.Index != wantIdx[i] {
+			t.Errorf("trace[%d].Index = %d, want %d", i, r.Index, wantIdx[i])
+		}
+	}
+	if !trace[2].Taken {
+		t.Error("first bnez should be taken")
+	}
+	if trace[4].Taken {
+		t.Error("second bnez should fall through")
+	}
+}
+
+func TestEvalMatchesStep(t *testing.T) {
+	// Every ALU op evaluated via Eval must match a Step execution.
+	ops := []isa.Op{
+		isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR, isa.SLL,
+		isa.SRL, isa.SRA, isa.CMPEQ, isa.CMPLT, isa.CMPLE,
+	}
+	for _, op := range ops {
+		b := isa.NewBuilder()
+		b.Movi(isa.R(1), -7)
+		b.Movi(isa.R(2), 3)
+		b.Emit(isa.Inst{Op: op, Rd: isa.R(3), Rs: isa.R(1), Rt: isa.R(2)})
+		b.Halt()
+		c := New(b.MustProgram(), mem.New())
+		if _, err := c.Run(10); err != nil {
+			t.Fatal(err)
+		}
+		want, ok := Eval(op, -7, 3, 0)
+		if !ok {
+			t.Fatalf("Eval does not handle %v", op)
+		}
+		if c.Regs[3] != want {
+			t.Errorf("%v: Step=%d Eval=%d", op, c.Regs[3], want)
+		}
+	}
+}
+
+func TestBranchTakenMatrix(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		v    int64
+		want bool
+	}{
+		{isa.BEQZ, 0, true}, {isa.BEQZ, 1, false},
+		{isa.BNEZ, 0, false}, {isa.BNEZ, -1, true},
+		{isa.BLTZ, -1, true}, {isa.BLTZ, 0, false},
+		{isa.BGEZ, 0, true}, {isa.BGEZ, -1, false},
+		{isa.JMP, 0, true}, {isa.JR, 0, true},
+		{isa.ADD, 0, false},
+	}
+	for _, c := range cases {
+		if got := BranchTaken(c.op, c.v); got != c.want {
+			t.Errorf("BranchTaken(%v, %d) = %v", c.op, c.v, got)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package emu
+
+import (
+	"repro/internal/isa"
+)
+
+// This file implements the instrumentation behind the paper's
+// characterization figures:
+//
+//   - Figure 3a: cumulative distribution of register-content variation across
+//     1, 3 and 12 basic blocks, in units of 64-byte cache blocks, for the
+//     registers loads use as address bases.
+//   - Figure 3b: the same distribution for load effective addresses.
+//   - Figure 7: breakdown of the number of branch instructions fetched per
+//     cycle by a 4-wide front end.
+
+// BlockBytes is the cache-block granularity the deltas are expressed in.
+const BlockBytes = 64
+
+// DeltaBuckets is the number of histogram buckets; the final bucket
+// aggregates all deltas ≥ DeltaBuckets-1 blocks (the paper's "all ≥ 33").
+const DeltaBuckets = 34
+
+// DeltaDepths are the basic-block distances the paper reports.
+var DeltaDepths = []int{1, 3, 12}
+
+// DeltaProfile accumulates Figure 3 statistics over one or more runs.
+type DeltaProfile struct {
+	// Reg[d][b] counts load-base registers whose content moved b blocks
+	// across DeltaDepths[d] basic blocks. EA is the same for effective
+	// addresses.
+	Reg [len3]histogram
+	EA  [len3]histogram
+
+	snaps    snapRing
+	bbCount  int
+	loadHist map[int]*eaRing // static load index -> recent (bb, ea)
+}
+
+const len3 = 3
+
+type histogram [DeltaBuckets]uint64
+
+func (h *histogram) add(deltaBlocks uint64) {
+	if deltaBlocks >= DeltaBuckets-1 {
+		h[DeltaBuckets-1]++
+		return
+	}
+	h[deltaBlocks]++
+}
+
+// CDF returns the cumulative distribution of the histogram, one value per
+// bucket, in [0,1]. A zero-sample histogram returns all zeros.
+func (h *histogram) CDF() [DeltaBuckets]float64 {
+	var out [DeltaBuckets]float64
+	var total uint64
+	for _, c := range h {
+		total += c
+	}
+	if total == 0 {
+		return out
+	}
+	var cum uint64
+	for i, c := range h {
+		cum += c
+		out[i] = float64(cum) / float64(total)
+	}
+	return out
+}
+
+// RegCDF and EACDF return the Figure 3a / 3b cumulative distributions for
+// the depth index d (0 → 1 BB, 1 → 3 BB, 2 → 12 BB).
+func (p *DeltaProfile) RegCDF(d int) [DeltaBuckets]float64 { return p.Reg[d].CDF() }
+func (p *DeltaProfile) EACDF(d int) [DeltaBuckets]float64  { return p.EA[d].CDF() }
+
+// snapRing keeps register-file snapshots at the last maxDepth+1 basic-block
+// boundaries.
+type snapRing struct {
+	buf  [16][isa.NumRegs]int64 // 16 > max depth 12
+	head int                    // next write slot
+	n    int
+}
+
+func (r *snapRing) push(regs *[isa.NumRegs]int64) {
+	r.buf[r.head] = *regs
+	r.head = (r.head + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// at returns the snapshot taken depth boundaries ago (1 = most recent).
+func (r *snapRing) at(depth int) (*[isa.NumRegs]int64, bool) {
+	if depth > r.n {
+		return nil, false
+	}
+	i := (r.head - depth + 2*len(r.buf)) % len(r.buf)
+	return &r.buf[i], true
+}
+
+// eaRing keeps the recent executions of one static load.
+type eaRing struct {
+	bb      [32]int
+	ea      [32]uint64
+	head, n int
+}
+
+func (r *eaRing) push(bb int, ea uint64) {
+	r.bb[r.head], r.ea[r.head] = bb, ea
+	r.head = (r.head + 1) % len(r.bb)
+	if r.n < len(r.bb) {
+		r.n++
+	}
+}
+
+// before returns the EA of the most recent execution at least depth basic
+// blocks before bb.
+func (r *eaRing) before(bb, depth int) (uint64, bool) {
+	for k := 1; k <= r.n; k++ {
+		i := (r.head - k + 2*len(r.bb)) % len(r.bb)
+		if r.bb[i] <= bb-depth {
+			return r.ea[i], true
+		}
+	}
+	return 0, false
+}
+
+// NewDeltaProfile returns an empty Figure 3 profile.
+func NewDeltaProfile() *DeltaProfile {
+	return &DeltaProfile{loadHist: make(map[int]*eaRing)}
+}
+
+// Attach instruments the CPU. The existing OnRetire hook, if any, is
+// replaced.
+func (p *DeltaProfile) Attach(c *CPU) {
+	c.OnRetire = func(r Retire) { p.observe(c, r) }
+}
+
+func (p *DeltaProfile) observe(c *CPU, r Retire) {
+	if r.Inst.IsLoad() {
+		ring := p.loadHist[r.Index]
+		if ring == nil {
+			ring = &eaRing{}
+			p.loadHist[r.Index] = ring
+		}
+		for d, depth := range DeltaDepths {
+			if prev, ok := ring.before(p.bbCount, depth); ok {
+				p.EA[d].add(absBlocks(int64(r.EA) - int64(prev)))
+			}
+		}
+		ring.push(p.bbCount, r.EA)
+	}
+	if r.Inst.IsControl() {
+		// Figure 3a samples register *content* variation: at each basic
+		// block boundary, compare every architectural register against its
+		// value 1/3/12 boundaries ago. (The hardwired zero register is
+		// excluded — it would inflate the zero bucket.)
+		for d, depth := range DeltaDepths {
+			snap, ok := p.snaps.at(depth)
+			if !ok {
+				continue
+			}
+			for reg := 0; reg < isa.NumRegs-1; reg++ {
+				p.Reg[d].add(absBlocks(c.Regs[reg] - snap[reg]))
+			}
+		}
+		p.bbCount++
+		p.snaps.push(&c.Regs)
+	}
+}
+
+func absBlocks(delta int64) uint64 {
+	if delta < 0 {
+		delta = -delta
+	}
+	return uint64(delta) / BlockBytes
+}
+
+// FetchGroupProfile accumulates the Figure 7 statistics: among fetch cycles
+// that deliver at least one branch, how many deliver 1, 2, 3 or 4?
+type FetchGroupProfile struct {
+	Width int // fetch width (the paper uses 4)
+
+	// Groups[k] counts fetch groups containing k control instructions,
+	// k in 0..Width.
+	Groups []uint64
+
+	inGroup  int
+	branches int
+}
+
+// NewFetchGroupProfile returns a profile for the given fetch width.
+func NewFetchGroupProfile(width int) *FetchGroupProfile {
+	return &FetchGroupProfile{Width: width, Groups: make([]uint64, width+1)}
+}
+
+// Attach instruments the CPU. The existing OnRetire hook, if any, is
+// replaced.
+func (p *FetchGroupProfile) Attach(c *CPU) {
+	c.OnRetire = func(r Retire) { p.observe(r) }
+}
+
+func (p *FetchGroupProfile) observe(r Retire) {
+	p.inGroup++
+	if r.Inst.IsControl() {
+		p.branches++
+	}
+	// A fetch group ends when it is full or redirected by taken control.
+	if p.inGroup == p.Width || (r.Inst.IsControl() && r.Taken) {
+		p.Groups[p.branches]++
+		p.inGroup, p.branches = 0, 0
+	}
+}
+
+// BranchBreakdown returns, over groups containing at least one control
+// instruction, the fraction containing exactly 1..Width of them.
+func (p *FetchGroupProfile) BranchBreakdown() []float64 {
+	var total uint64
+	for k := 1; k <= p.Width; k++ {
+		total += p.Groups[k]
+	}
+	out := make([]float64, p.Width)
+	if total == 0 {
+		return out
+	}
+	for k := 1; k <= p.Width; k++ {
+		out[k-1] = float64(p.Groups[k]) / float64(total)
+	}
+	return out
+}

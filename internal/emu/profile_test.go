@@ -1,0 +1,214 @@
+package emu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h histogram
+	h.add(0)
+	h.add(1)
+	h.add(DeltaBuckets - 2)
+	h.add(DeltaBuckets - 1) // overflow bucket
+	h.add(1000)             // overflow bucket
+	if h[0] != 1 || h[1] != 1 || h[DeltaBuckets-2] != 1 || h[DeltaBuckets-1] != 2 {
+		t.Errorf("histogram = %v", h)
+	}
+	cdf := h.CDF()
+	if cdf[DeltaBuckets-1] != 1.0 {
+		t.Errorf("CDF tail = %v", cdf[DeltaBuckets-1])
+	}
+	if cdf[0] != 0.2 {
+		t.Errorf("CDF head = %v", cdf[0])
+	}
+	var empty histogram
+	if c := empty.CDF(); c[DeltaBuckets-1] != 0 {
+		t.Error("empty CDF should be zero")
+	}
+}
+
+func TestAbsBlocks(t *testing.T) {
+	cases := []struct {
+		d    int64
+		want uint64
+	}{{0, 0}, {63, 0}, {64, 1}, {-64, 1}, {-1, 0}, {6400, 100}}
+	for _, c := range cases {
+		if got := absBlocks(c.d); got != c.want {
+			t.Errorf("absBlocks(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestSnapRing(t *testing.T) {
+	var r snapRing
+	var regs [isa.NumRegs]int64
+	for i := int64(1); i <= 5; i++ {
+		regs[1] = i * 100
+		r.push(&regs)
+	}
+	if s, ok := r.at(1); !ok || s[1] != 500 {
+		t.Errorf("at(1) = %v", s)
+	}
+	if s, ok := r.at(5); !ok || s[1] != 100 {
+		t.Errorf("at(5) = %v", s)
+	}
+	if _, ok := r.at(6); ok {
+		t.Error("at(6) should not exist yet")
+	}
+}
+
+func TestEARing(t *testing.T) {
+	var r eaRing
+	r.push(10, 0x100)
+	r.push(12, 0x200)
+	r.push(15, 0x300)
+	if ea, ok := r.before(15, 3); !ok || ea != 0x200 {
+		t.Errorf("before(15,3) = %#x,%v want 0x200", ea, ok)
+	}
+	if ea, ok := r.before(15, 1); !ok || ea != 0x200 {
+		t.Errorf("before(15,1) = %#x,%v", ea, ok)
+	}
+	if ea, ok := r.before(16, 1); !ok || ea != 0x300 {
+		t.Errorf("before(16,1) = %#x,%v", ea, ok)
+	}
+	if _, ok := r.before(10, 1); ok {
+		t.Error("nothing strictly before bb 9")
+	}
+}
+
+// A strided loop whose base register advances 8 bytes per basic block: the
+// register CDF at 1 BB must be fully within one block, and at 12 BB the
+// delta is 96 B = 1 block.
+func TestDeltaProfileStridedLoop(t *testing.T) {
+	prog := isa.MustAssemble(`
+		movi r16, 0x10000
+		movi r10, 200
+	loop:
+		ld   r1, 0(r16)
+		addi r16, r16, 8
+		addi r10, r10, -1
+		bnez r10, loop
+		halt
+	`)
+	cpu := New(prog, mem.New())
+	p := NewDeltaProfile()
+	p.Attach(cpu)
+	if _, err := cpu.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	reg1 := p.RegCDF(0)
+	if reg1[1] < 0.99 {
+		t.Errorf("1BB register CDF at 1 block = %.3f, want ≈1", reg1[1])
+	}
+	reg12 := p.RegCDF(2)
+	if reg12[2] < 0.99 { // 12 BB × 8 B = 96 B < 2 blocks
+		t.Errorf("12BB register CDF at 2 blocks = %.3f", reg12[2])
+	}
+	// EA deltas: consecutive executions 8 B apart → within 1 block at 1 BB.
+	ea1 := p.EACDF(0)
+	if ea1[1] < 0.99 {
+		t.Errorf("1BB EA CDF at 1 block = %.3f", ea1[1])
+	}
+}
+
+// A pointer-chasing load must show wide EA deltas even at depth 1.
+func TestDeltaProfilePointerChase(t *testing.T) {
+	image := mem.New()
+	// A 4-node cycle spread far apart.
+	addrs := []uint64{0x10000, 0x90000, 0x30000, 0xD0000}
+	for i, a := range addrs {
+		image.WriteInt64(a, int64(addrs[(i+1)%len(addrs)]))
+	}
+	prog := isa.MustAssemble(`
+		movi r21, 0x10000
+		movi r10, 100
+	loop:
+		ld   r21, 0(r21)
+		addi r10, r10, -1
+		bnez r10, loop
+		halt
+	`)
+	cpu := New(prog, image)
+	p := NewDeltaProfile()
+	p.Attach(cpu)
+	if _, err := cpu.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	ea1 := p.EACDF(0)
+	if ea1[DeltaBuckets-2] > 0.01 {
+		t.Errorf("pointer-chase EA deltas should all overflow: CDF@32 = %.3f", ea1[DeltaBuckets-2])
+	}
+}
+
+func TestFetchGroupProfile(t *testing.T) {
+	// Loop body of exactly 4 instructions ending in a taken branch: every
+	// group carries exactly one branch.
+	prog := isa.MustAssemble(`
+		movi r10, 50
+	loop:
+		addi r1, r1, 1
+		addi r2, r2, 1
+		addi r10, r10, -1
+		bnez r10, loop
+		halt
+	`)
+	cpu := New(prog, mem.New())
+	p := NewFetchGroupProfile(4)
+	p.Attach(cpu)
+	if _, err := cpu.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	bd := p.BranchBreakdown()
+	if bd[0] < 0.95 {
+		t.Errorf("1-branch fraction = %.3f, want ≈1 (%v)", bd[0], p.Groups)
+	}
+	if bd[3] != 0 {
+		t.Errorf("4-branch groups impossible here: %v", p.Groups)
+	}
+}
+
+func TestFetchGroupProfileDenseBranches(t *testing.T) {
+	// Back-to-back not-taken branches pack multiple branches per group.
+	prog := isa.MustAssemble(`
+		movi r1, 1
+		movi r10, 50
+	loop:
+		beqz r1, skip    ; never taken
+		beqz r1, skip
+		beqz r1, skip
+		addi r10, r10, -1
+		bnez r10, loop
+	skip:
+		halt
+	`)
+	cpu := New(prog, mem.New())
+	p := NewFetchGroupProfile(4)
+	p.Attach(cpu)
+	if _, err := cpu.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	bd := p.BranchBreakdown()
+	if bd[2]+bd[3] < 0.3 {
+		t.Errorf("dense branch code should show 3+/group: %v (groups %v)", bd, p.Groups)
+	}
+	var zero float64
+	for _, v := range bd {
+		zero += v
+	}
+	if zero < 0.999 || zero > 1.001 {
+		t.Errorf("breakdown not normalized: %v", bd)
+	}
+}
+
+func TestFetchGroupEmpty(t *testing.T) {
+	p := NewFetchGroupProfile(4)
+	bd := p.BranchBreakdown()
+	for _, v := range bd {
+		if v != 0 {
+			t.Error("empty profile should be all zero")
+		}
+	}
+}

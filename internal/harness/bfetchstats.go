@@ -1,0 +1,28 @@
+package harness
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// bfetchStats runs one workload on a B-Fetch configuration and returns the
+// engine's internal counters (lookahead depth, stop reasons, candidate and
+// filter activity) — detail the Result snapshot deliberately omits.
+func bfetchStats(cfg sim.Config, app string, opts sim.RunOpts) (core.Stats, error) {
+	w, err := workload.ByName(app)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	cfg.Cores = 1
+	cfg.Prefetcher = sim.PFBFetch
+	s, err := sim.New(cfg, []workload.Workload{w})
+	if err != nil {
+		return core.Stats{}, err
+	}
+	total := opts.WarmupInsts + opts.MeasureInsts
+	if err := s.Run(total, total*1000); err != nil {
+		return core.Stats{}, err
+	}
+	return s.PFs[0].(*core.BFetch).Stats, nil
+}

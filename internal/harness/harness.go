@@ -1,0 +1,162 @@
+// Package harness defines one experiment per table and figure in the
+// paper's evaluation (§V), plus the ablation studies DESIGN.md calls out.
+// Each experiment runs the simulator and renders the same rows or series
+// the paper reports, as text tables with CSV export.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Params tunes an experiment run.
+type Params struct {
+	// Opts is the warmup/measure protocol per simulation.
+	Opts sim.RunOpts
+	// Workloads restricts the benchmark set (nil = all 18).
+	Workloads []string
+	// Mixes is the number of multiprogrammed mixes (paper: 29).
+	Mixes int
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// DefaultParams mirrors the paper's protocol at simulation-friendly scale.
+func DefaultParams() Params {
+	return Params{
+		Opts:  sim.DefaultRunOpts(),
+		Mixes: 29,
+	}
+}
+
+func (p Params) workloads() []string {
+	if len(p.Workloads) > 0 {
+		return p.Workloads
+	}
+	return workload.Names()
+}
+
+func (p Params) logf(format string, args ...any) {
+	if p.Log != nil {
+		fmt.Fprintf(p.Log, format+"\n", args...)
+	}
+}
+
+// Experiment reproduces one paper artifact.
+type Experiment struct {
+	ID    string // paper artifact id: fig1, tab1, ...
+	Title string
+	// Paper summarises what the original reports, for EXPERIMENTS.md.
+	Paper string
+	Run   func(Params) ([]*stats.Table, error)
+}
+
+var experiments []Experiment
+
+func registerExperiment(e Experiment) { experiments = append(experiments, e) }
+
+// All returns the experiments in registration (paper) order.
+func All() []Experiment { return append([]Experiment(nil), experiments...) }
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range experiments {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range experiments {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %v)", id, ids)
+}
+
+// ----------------------------------------------------------------- shared --
+
+// speedups measures per-workload speedups of each configuration over the
+// baseline configuration. Configurations are run in order for each
+// workload; the result is indexed [config][workload order].
+func speedups(p Params, baseline sim.Config, configs []sim.Config) ([][]float64, error) {
+	ws := p.workloads()
+	out := make([][]float64, len(configs))
+	for i := range out {
+		out[i] = make([]float64, len(ws))
+	}
+	for wi, name := range ws {
+		base, err := sim.RunSolo(baseline, name, p.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("baseline on %s: %w", name, err)
+		}
+		for ci, cfg := range configs {
+			res, err := sim.RunSolo(cfg, name, p.Opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", cfg.Prefetcher, name, err)
+			}
+			out[ci][wi] = res.IPC[0] / base.IPC[0]
+			p.logf("  %-12s %-8s speedup %.3f", name, label(cfg, ci), out[ci][wi])
+		}
+	}
+	return out, nil
+}
+
+func label(cfg sim.Config, i int) string {
+	if cfg.Prefetcher != "" {
+		return string(cfg.Prefetcher)
+	}
+	return fmt.Sprintf("cfg%d", i)
+}
+
+// sensitiveSet returns which of the given workloads are memory-intensive —
+// the static stand-in for the paper's "prefetch sensitive" set (those that
+// benefit from a perfect prefetcher; fig1 computes the dynamic version).
+func sensitiveSet(names []string) map[string]bool {
+	out := map[string]bool{}
+	for _, name := range names {
+		if w, err := workload.ByName(name); err == nil && w.MemoryIntensive {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// speedupTable renders the per-benchmark speedup layout shared by Figures
+// 1, 8, 12, 14 and 15: one row per workload, one column per series, then
+// Geomean and Geomean-pf-sensitive rows.
+func speedupTable(title string, workloads []string, series []string, data [][]float64) *stats.Table {
+	t := stats.NewTable(title, append([]string{"benchmark"}, series...)...)
+	sens := sensitiveSet(workloads)
+	for wi, name := range workloads {
+		row := []any{name}
+		for si := range series {
+			row = append(row, data[si][wi])
+		}
+		t.AddRow(row...)
+	}
+	addGeo := func(label string, filter func(string) bool) {
+		row := []any{label}
+		for si := range series {
+			var vals []float64
+			for wi, name := range workloads {
+				if filter(name) {
+					vals = append(vals, data[si][wi])
+				}
+			}
+			if len(vals) == 0 {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, stats.Geomean(vals))
+		}
+		t.AddRow(row...)
+	}
+	addGeo("Geomean", func(string) bool { return true })
+	addGeo("Geomean pf. sens.", func(n string) bool { return sens[n] })
+	return t
+}

@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Harness tests run the real experiments at a tiny budget over a workload
+// subset — enough to verify the wiring, table shapes, and the qualitative
+// invariants the paper leans on, without taking the full measurement time.
+
+func tinyParams() Params {
+	return Params{
+		Opts:      sim.RunOpts{WarmupInsts: 20_000, MeasureInsts: 40_000},
+		Workloads: []string{"libquantum", "gamess", "milc"},
+		Mixes:     3,
+	}
+}
+
+func TestRegistryCoversPaperArtifacts(t *testing.T) {
+	want := []string{"fig1", "fig3", "fig7", "tab1", "tab2", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablation"}
+	for _, id := range want {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("missing experiment %s: %v", id, err)
+		}
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	for _, e := range All() {
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %s underspecified", e.ID)
+		}
+	}
+}
+
+func findRow(tbl interface{ String() string }, name string) string {
+	for _, line := range strings.Split(tbl.String(), "\n") {
+		if strings.HasPrefix(line, name) {
+			return line
+		}
+	}
+	return ""
+}
+
+func TestFig1Shape(t *testing.T) {
+	e, _ := ByID("fig1")
+	tables, err := e.Run(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("fig1 returned %d tables", len(tables))
+	}
+	main := tables[0].String()
+	if !strings.Contains(main, "Geomean pf. sens.") {
+		t.Error("missing prefetch-sensitive geomean row")
+	}
+	// gamess is L1-resident: the Perfect prefetcher must not help it.
+	row := findRow(tables[0], "gamess")
+	if row == "" {
+		t.Fatal("no gamess row")
+	}
+	if !strings.Contains(row, "1.0") {
+		t.Errorf("gamess should be ≈1.0 under Perfect: %q", row)
+	}
+	// The aux table marks sensitivity.
+	aux := tables[1].String()
+	if !strings.Contains(aux, "false") || !strings.Contains(aux, "true") {
+		t.Errorf("sensitivity classification degenerate:\n%s", aux)
+	}
+}
+
+func TestFig8RunsOnSubset(t *testing.T) {
+	e, _ := ByID("fig8")
+	tables, err := e.Run(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tables[0].String()
+	for _, col := range []string{"Stride", "SMS", "Bfetch"} {
+		if !strings.Contains(s, col) {
+			t.Errorf("missing column %s", col)
+		}
+	}
+	for _, w := range tinyParams().Workloads {
+		if findRow(tables[0], w) == "" {
+			t.Errorf("missing row %s", w)
+		}
+	}
+}
+
+func TestFig3And7Run(t *testing.T) {
+	p := tinyParams()
+	e3, _ := ByID("fig3")
+	tables, err := e3.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("fig3 tables = %d", len(tables))
+	}
+	// CDFs end at 1.000 in the ≥33 bucket.
+	for _, tbl := range tables {
+		s := tbl.String()
+		if !strings.Contains(s, "≥33") {
+			t.Error("missing overflow bucket")
+		}
+		lines := strings.Split(strings.TrimSpace(s), "\n")
+		last := lines[len(lines)-1]
+		if strings.Count(last, "1.000") != 3 {
+			t.Errorf("CDF does not terminate at 1: %q", last)
+		}
+	}
+
+	e7, _ := ByID("fig7")
+	t7, err := e7.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findRow(t7[0], "MEAN") == "" {
+		t.Error("fig7 missing MEAN row")
+	}
+}
+
+func TestTab1ReportsSaving(t *testing.T) {
+	e, _ := ByID("tab1")
+	tables, err := e.Run(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tables[0].String()
+	if !strings.Contains(s, "12.84") {
+		t.Errorf("missing B-Fetch total:\n%s", s)
+	}
+	if !strings.Contains(s, "%") {
+		t.Error("missing saving percentage")
+	}
+}
+
+func TestFig9MixesRun(t *testing.T) {
+	e, _ := ByID("fig9")
+	tables, err := e.Run(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tables[0].String()
+	if !strings.Contains(s, "mix1") {
+		t.Errorf("no mixes:\n%s", s)
+	}
+	if findRow(tables[0], "Geomean") == "" {
+		t.Error("missing geomean row")
+	}
+	// Mix names must pair two apps.
+	row := findRow(tables[0], "mix1")
+	if !strings.Contains(row, "+") {
+		t.Errorf("mix row lacks app pairing: %q", row)
+	}
+}
+
+func TestSensitiveSet(t *testing.T) {
+	s := sensitiveSet([]string{"libquantum", "gamess", "nonesuch"})
+	if !s["libquantum"] || s["gamess"] || s["nonesuch"] {
+		t.Errorf("sensitive set = %v", s)
+	}
+}

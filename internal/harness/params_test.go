@@ -1,0 +1,32 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParamsDefaults(t *testing.T) {
+	p := DefaultParams()
+	if p.Mixes != 29 {
+		t.Errorf("default mixes = %d, want 29 (the paper's count)", p.Mixes)
+	}
+	if len(p.workloads()) != 18 {
+		t.Errorf("default workload set = %d", len(p.workloads()))
+	}
+	p.Workloads = []string{"mcf"}
+	if got := p.workloads(); len(got) != 1 || got[0] != "mcf" {
+		t.Errorf("subset = %v", got)
+	}
+}
+
+func TestParamsLogging(t *testing.T) {
+	var buf bytes.Buffer
+	p := Params{Log: &buf}
+	p.logf("hello %d", 7)
+	if !strings.Contains(buf.String(), "hello 7") {
+		t.Errorf("log = %q", buf.String())
+	}
+	// Nil log must not panic.
+	Params{}.logf("dropped")
+}

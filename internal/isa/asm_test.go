@@ -1,0 +1,152 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+const loopSrc = `
+; count down from 10, accumulating loads
+    movi  r1, 10
+    movi  r2, 0x2000
+    movi  r5, 0
+loop:
+    ld    r3, 0(r2)       ; trailing comment
+    add   r5, r5, r3
+    st    r5, 8(r2)
+    addi  r2, r2, 64
+    addi  r1, r1, -1
+    bnez  r1, loop
+    halt
+`
+
+func TestAssembleLoop(t *testing.T) {
+	p, err := Assemble(loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 10 {
+		t.Fatalf("len = %d, want 10", p.Len())
+	}
+	if idx, ok := p.Symbols["loop"]; !ok || idx != 3 {
+		t.Errorf("symbol loop = %d,%v want 3", idx, ok)
+	}
+	br := p.Insts[8]
+	if br.Op != BNEZ || br.Rs != 1 || br.Target != 3 {
+		t.Errorf("branch = %v", br)
+	}
+	ld := p.Insts[3]
+	if ld.Op != LD || ld.Rd != 3 || ld.Rs != 2 || ld.Imm != 0 {
+		t.Errorf("load = %v", ld)
+	}
+	st := p.Insts[5]
+	if st.Op != ST || st.Rt != 5 || st.Rs != 2 || st.Imm != 8 {
+		t.Errorf("store = %v", st)
+	}
+}
+
+func TestAssembleImmediates(t *testing.T) {
+	p, err := Assemble("movi r1, 0x40\nmovi r2, -17\nmovi r3, 0xABCDEF\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Imm != 0x40 || p.Insts[1].Imm != -17 || p.Insts[2].Imm != 0xABCDEF {
+		t.Errorf("immediates = %d %d %d", p.Insts[0].Imm, p.Insts[1].Imm, p.Insts[2].Imm)
+	}
+}
+
+func TestAssembleMemOperandForms(t *testing.T) {
+	p, err := Assemble("ld r1, (r2)\nld r3, -8(r4)\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Imm != 0 {
+		t.Errorf("implicit displacement = %d", p.Insts[0].Imm)
+	}
+	if p.Insts[1].Imm != -8 {
+		t.Errorf("negative displacement = %d", p.Insts[1].Imm)
+	}
+}
+
+func TestAssembleAbsoluteTarget(t *testing.T) {
+	p, err := Assemble("nop\nbeqz r1, @0\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[1].Target != 0 {
+		t.Errorf("target = %d", p.Insts[1].Target)
+	}
+}
+
+func TestAssembleLabelOnOwnLineAndShared(t *testing.T) {
+	p, err := Assemble("a:\nb: nop\njmp a\njmp b\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["a"] != 0 || p.Symbols["b"] != 0 {
+		t.Errorf("symbols = %v", p.Symbols)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unknown mnemonic", "frob r1, r2\nhalt"},
+		{"bad register", "add r1, r2, r99\nhalt"},
+		{"bad register name", "add r1, x2, r3\nhalt"},
+		{"missing operand", "add r1, r2\nhalt"},
+		{"undefined label", "jmp nowhere\nhalt"},
+		{"duplicate label", "a: nop\na: nop\nhalt"},
+		{"bad target", "beqz r1, 12x\nhalt"},
+		{"bad mem operand", "ld r1, r2\nhalt"},
+		{"bad immediate", "movi r1, zz\nhalt"},
+		{"halt with operand", "halt r1"},
+		{"bad label", "9lab: nop\nhalt"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble(c.src); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		} else if c.name != "undefined label" && !strings.Contains(err.Error(), "line") {
+			// Undefined labels are only detectable at the end of assembly,
+			// so they carry no line number.
+			t.Errorf("%s: error %q lacks line info", c.name, err)
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	p1 := MustAssemble(loopSrc)
+	text := Disassemble(p1)
+	p2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassemble failed: %v\n%s", err, text)
+	}
+	if p1.Len() != p2.Len() {
+		t.Fatalf("lengths differ: %d vs %d", p1.Len(), p2.Len())
+	}
+	for i := range p1.Insts {
+		if p1.Insts[i] != p2.Insts[i] {
+			t.Errorf("inst %d: %v vs %v", i, p1.Insts[i], p2.Insts[i])
+		}
+	}
+}
+
+func TestDisassembleSyntheticLabels(t *testing.T) {
+	b := NewBuilder()
+	l := b.Here()
+	b.Addi(R(1), R(1), -1)
+	b.Bnez(R(1), l)
+	b.Halt()
+	text := Disassemble(b.MustProgram())
+	if !strings.Contains(text, "L0:") {
+		t.Errorf("expected synthetic label in:\n%s", text)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad input")
+		}
+	}()
+	MustAssemble("frob")
+}

@@ -1,0 +1,35 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble checks that arbitrary input never panics the assembler, and
+// that anything it accepts disassembles and reassembles to the same program.
+func FuzzAssemble(f *testing.F) {
+	f.Add("movi r1, 5\nhalt")
+	f.Add(loopSrc)
+	f.Add("ld r1, -8(r2)\nbeqz r1, @0\njr r31")
+	f.Add("a: b: jmp a ; x")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		text := Disassemble(p)
+		p2, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("disassembly did not reassemble: %v\n%s", err, text)
+		}
+		if p.Len() != p2.Len() {
+			t.Fatalf("round-trip length changed: %d vs %d", p.Len(), p2.Len())
+		}
+		for i := range p.Insts {
+			if p.Insts[i] != p2.Insts[i] {
+				t.Fatalf("instruction %d changed: %v vs %v", i, p.Insts[i], p2.Insts[i])
+			}
+		}
+		_ = strings.TrimSpace(text)
+	})
+}

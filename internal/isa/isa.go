@@ -1,0 +1,298 @@
+// Package isa defines the instruction set executed by the simulators in this
+// repository: a small, ALPHA-flavoured 64-bit RISC with 32 integer registers.
+//
+// The instruction set is deliberately minimal but complete enough to express
+// the control-flow and addressing idioms the B-Fetch paper depends on: basic
+// blocks delimited by conditional branches, loads whose effective addresses
+// are base-register + static offset, and register transformations that evolve
+// predictably across basic blocks.
+//
+// Instructions are represented as decoded structs rather than encoded words;
+// each instruction occupies 4 bytes of the simulated text segment so that
+// program counters look like conventional byte addresses.
+package isa
+
+import "fmt"
+
+// Reg names an architectural integer register. R31 reads as zero and writes
+// to it are discarded, following the ALPHA convention.
+type Reg uint8
+
+// NumRegs is the number of architectural integer registers.
+const NumRegs = 32
+
+// RZero is the hardwired zero register.
+const RZero Reg = 31
+
+// R returns the n-th register and panics if n is out of range. It exists so
+// workload generators can compute register numbers without casting.
+func R(n int) Reg {
+	if n < 0 || n >= NumRegs {
+		panic(fmt.Sprintf("isa: register r%d out of range", n))
+	}
+	return Reg(n)
+}
+
+func (r Reg) String() string { return fmt.Sprintf("r%d", r) }
+
+// Op enumerates the operations in the instruction set.
+type Op uint8
+
+// Operations. Three-register ALU ops compute Rd = Rs op Rt. Immediate forms
+// compute Rd = Rs op Imm. Memory operations transfer 64-bit words:
+// LD Rd, Imm(Rs) and ST Rt, Imm(Rs). Conditional branches test Rs against
+// zero and jump to Target (an instruction index). JMP is a direct jump and JR
+// an indirect jump through Rs (a byte address in the text segment).
+const (
+	NOP Op = iota
+
+	// Register-register ALU.
+	ADD
+	SUB
+	MUL
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	CMPEQ // Rd = 1 if Rs == Rt else 0
+	CMPLT // Rd = 1 if Rs <  Rt (signed) else 0
+	CMPLE // Rd = 1 if Rs <= Rt (signed) else 0
+
+	// Register-immediate ALU.
+	ADDI
+	MULI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	CMPEQI
+	CMPLTI
+	MOVI // Rd = Imm
+
+	// Memory.
+	LD // Rd = mem64[Rs + Imm]
+	ST // mem64[Rs + Imm] = Rt
+
+	// Control flow.
+	BEQZ // if Rs == 0 goto Target
+	BNEZ // if Rs != 0 goto Target
+	BLTZ // if Rs <  0 goto Target
+	BGEZ // if Rs >= 0 goto Target
+	JMP  // goto Target
+	JR   // goto byte address in Rs
+
+	HALT
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	NOP: "nop", ADD: "add", SUB: "sub", MUL: "mul", AND: "and", OR: "or",
+	XOR: "xor", SLL: "sll", SRL: "srl", SRA: "sra", CMPEQ: "cmpeq",
+	CMPLT: "cmplt", CMPLE: "cmple", ADDI: "addi", MULI: "muli", ANDI: "andi",
+	ORI: "ori", XORI: "xori", SLLI: "slli", SRLI: "srli", SRAI: "srai",
+	CMPEQI: "cmpeqi", CMPLTI: "cmplti", MOVI: "movi", LD: "ld", ST: "st",
+	BEQZ: "beqz", BNEZ: "bnez", BLTZ: "bltz", BGEZ: "bgez", JMP: "jmp",
+	JR: "jr", HALT: "halt",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined operation.
+func (op Op) Valid() bool { return op < numOps }
+
+// Inst is one decoded instruction.
+type Inst struct {
+	Op     Op
+	Rd     Reg   // destination (ALU, MOVI, LD)
+	Rs     Reg   // first source / base register / branch condition
+	Rt     Reg   // second source / store data
+	Imm    int64 // immediate / memory displacement
+	Target int   // branch or jump target, as an instruction index
+}
+
+// Instruction classification helpers.
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (in Inst) IsCondBranch() bool {
+	switch in.Op {
+	case BEQZ, BNEZ, BLTZ, BGEZ:
+		return true
+	}
+	return false
+}
+
+// IsControl reports whether the instruction may change control flow
+// (conditional branch, direct jump, or indirect jump).
+func (in Inst) IsControl() bool {
+	return in.IsCondBranch() || in.Op == JMP || in.Op == JR
+}
+
+// IsDirect reports whether the instruction is a control instruction with a
+// statically known target.
+func (in Inst) IsDirect() bool { return in.IsCondBranch() || in.Op == JMP }
+
+// IsLoad reports whether the instruction reads data memory.
+func (in Inst) IsLoad() bool { return in.Op == LD }
+
+// IsStore reports whether the instruction writes data memory.
+func (in Inst) IsStore() bool { return in.Op == ST }
+
+// IsMem reports whether the instruction accesses data memory.
+func (in Inst) IsMem() bool { return in.Op == LD || in.Op == ST }
+
+// BaseReg returns the base register of a memory instruction.
+func (in Inst) BaseReg() Reg { return in.Rs }
+
+// HasDest reports whether the instruction writes a register, and WritesReg
+// returns that register (meaningful only when HasDest is true).
+func (in Inst) HasDest() bool {
+	switch in.Op {
+	case NOP, ST, BEQZ, BNEZ, BLTZ, BGEZ, JMP, JR, HALT:
+		return false
+	}
+	return in.Rd != RZero
+}
+
+// DestReg returns the written register; call only when HasDest is true.
+func (in Inst) DestReg() Reg { return in.Rd }
+
+// SrcRegs appends the architectural source registers of the instruction to
+// dst and returns the extended slice. RZero sources are included (they read
+// as zero but are real operands).
+func (in Inst) SrcRegs(dst []Reg) []Reg {
+	switch in.Op {
+	case NOP, MOVI, JMP, HALT:
+		return dst
+	case ADD, SUB, MUL, AND, OR, XOR, SLL, SRL, SRA, CMPEQ, CMPLT, CMPLE:
+		return append(dst, in.Rs, in.Rt)
+	case ADDI, MULI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, CMPEQI, CMPLTI, LD:
+		return append(dst, in.Rs)
+	case ST:
+		return append(dst, in.Rs, in.Rt)
+	case BEQZ, BNEZ, BLTZ, BGEZ, JR:
+		return append(dst, in.Rs)
+	}
+	return dst
+}
+
+// String renders the instruction in assembler syntax, with branch targets as
+// absolute instruction indices (the assembler accepts both labels and @N).
+func (in Inst) String() string {
+	switch in.Op {
+	case NOP, HALT:
+		return in.Op.String()
+	case ADD, SUB, MUL, AND, OR, XOR, SLL, SRL, SRA, CMPEQ, CMPLT, CMPLE:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs, in.Rt)
+	case ADDI, MULI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, CMPEQI, CMPLTI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs, in.Imm)
+	case MOVI:
+		return fmt.Sprintf("movi %s, %d", in.Rd, in.Imm)
+	case LD:
+		return fmt.Sprintf("ld %s, %d(%s)", in.Rd, in.Imm, in.Rs)
+	case ST:
+		return fmt.Sprintf("st %s, %d(%s)", in.Rt, in.Imm, in.Rs)
+	case BEQZ, BNEZ, BLTZ, BGEZ:
+		return fmt.Sprintf("%s %s, @%d", in.Op, in.Rs, in.Target)
+	case JMP:
+		return fmt.Sprintf("jmp @%d", in.Target)
+	case JR:
+		return fmt.Sprintf("jr %s", in.Rs)
+	}
+	return fmt.Sprintf("%s ?", in.Op)
+}
+
+// InstBytes is the architectural size of one instruction in the simulated
+// text segment.
+const InstBytes = 4
+
+// DefaultTextBase is where program text begins in the simulated address
+// space unless a Program overrides it.
+const DefaultTextBase uint64 = 0x0000_0000_0000_1000
+
+// Program is an assembled program: a text segment plus symbol information.
+type Program struct {
+	Insts    []Inst
+	Symbols  map[string]int // label -> instruction index
+	TextBase uint64
+}
+
+// PC returns the byte address of the instruction at index i.
+func (p *Program) PC(i int) uint64 { return p.TextBase + uint64(i)*InstBytes }
+
+// Index returns the instruction index of byte address pc and whether pc is a
+// valid, aligned text address for this program.
+func (p *Program) Index(pc uint64) (int, bool) {
+	if pc < p.TextBase || (pc-p.TextBase)%InstBytes != 0 {
+		return 0, false
+	}
+	i := int((pc - p.TextBase) / InstBytes)
+	if i >= len(p.Insts) {
+		return 0, false
+	}
+	return i, true
+}
+
+// Len returns the number of instructions in the program.
+func (p *Program) Len() int { return len(p.Insts) }
+
+// Validate checks structural invariants: defined opcodes, register ranges,
+// and in-range branch targets. A Program that fails Validate would derail the
+// simulators, so workload generators call it in tests.
+func (p *Program) Validate() error {
+	if len(p.Insts) == 0 {
+		return fmt.Errorf("isa: empty program")
+	}
+	for i, in := range p.Insts {
+		if !in.Op.Valid() {
+			return fmt.Errorf("isa: instruction %d: invalid opcode %d", i, uint8(in.Op))
+		}
+		if in.Rd >= NumRegs || in.Rs >= NumRegs || in.Rt >= NumRegs {
+			return fmt.Errorf("isa: instruction %d (%s): register out of range", i, in)
+		}
+		if in.IsDirect() {
+			if in.Target < 0 || in.Target >= len(p.Insts) {
+				return fmt.Errorf("isa: instruction %d (%s): target %d out of range [0,%d)",
+					i, in, in.Target, len(p.Insts))
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarises the static composition of a program.
+type Stats struct {
+	Total    int
+	Loads    int
+	Stores   int
+	Branches int // conditional branches
+	Jumps    int // direct + indirect jumps
+}
+
+// StaticStats computes instruction-mix statistics over the program text.
+func (p *Program) StaticStats() Stats {
+	var s Stats
+	s.Total = len(p.Insts)
+	for _, in := range p.Insts {
+		switch {
+		case in.IsLoad():
+			s.Loads++
+		case in.IsStore():
+			s.Stores++
+		case in.IsCondBranch():
+			s.Branches++
+		case in.Op == JMP || in.Op == JR:
+			s.Jumps++
+		}
+	}
+	return s
+}

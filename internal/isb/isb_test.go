@@ -1,0 +1,142 @@
+package isb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/prefetch"
+)
+
+func drain(p *ISB, cycles int) []prefetch.Request {
+	var all []prefetch.Request
+	for i := 0; i < cycles; i++ {
+		all = append(all, p.Tick(uint64(i))...)
+	}
+	return all
+}
+
+// touch replays an address sequence as loads from one PC.
+func touch(p *ISB, pc uint64, addrs []uint64) {
+	for _, a := range addrs {
+		p.OnAccess(prefetch.AccessInfo{PC: pc, Addr: a})
+	}
+}
+
+func TestLinearizesIrregularSequence(t *testing.T) {
+	p := New(DefaultConfig())
+	// An arbitrary but repeating irregular sequence.
+	seq := []uint64{0x10000, 0x93440, 0x2AC0, 0x77F80, 0x5140}
+	pc := uint64(0x400)
+
+	touch(p, pc, seq) // first pass: trains the structural mapping
+	drain(p, 100)
+
+	// Second pass: touching the first element must prefetch the followers.
+	touch(p, pc, seq[:1])
+	reqs := drain(p, 100)
+	want := map[uint64]bool{}
+	for _, a := range seq[1:] {
+		want[a&^63] = true
+	}
+	if len(reqs) == 0 {
+		t.Fatalf("no prefetches after training (trained pairs: %d)", p.TrainedPairs)
+	}
+	hits := 0
+	for _, r := range reqs {
+		if want[r.Addr&^63] {
+			hits++
+		}
+	}
+	if hits < 2 {
+		t.Errorf("only %d of the followers prefetched: %v", hits, reqs)
+	}
+}
+
+func TestColdSequenceSilent(t *testing.T) {
+	p := New(DefaultConfig())
+	touch(p, 0x400, []uint64{0x1000, 0x2000, 0x3000})
+	// During the very first pass nothing is mapped yet when each block is
+	// first touched, so at most stale predictions fire.
+	if reqs := drain(p, 10); len(reqs) != 0 {
+		t.Errorf("cold pass produced %v", reqs)
+	}
+}
+
+func TestPCLocalization(t *testing.T) {
+	p := New(DefaultConfig())
+	// Interleaved accesses by two PCs: streams must not cross-contaminate.
+	a := []uint64{0x10000, 0x20000, 0x30000}
+	b := []uint64{0x80000, 0x90000, 0xA0000}
+	for i := range a {
+		p.OnAccess(prefetch.AccessInfo{PC: 0x400, Addr: a[i]})
+		p.OnAccess(prefetch.AccessInfo{PC: 0x500, Addr: b[i]})
+	}
+	drain(p, 100)
+	touch(p, 0x400, a[:1])
+	reqs := drain(p, 100)
+	for _, r := range reqs {
+		for _, bad := range b {
+			if r.Addr&^63 == bad&^63 {
+				t.Errorf("stream for PC 0x400 prefetched PC 0x500's block %#x", bad)
+			}
+		}
+	}
+}
+
+func TestWritesIgnored(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 10; i++ {
+		p.OnAccess(prefetch.AccessInfo{PC: 0x400, Addr: uint64(i) * 4096, Write: true})
+	}
+	if p.TrainedPairs != 0 {
+		t.Error("stores trained the mapping")
+	}
+}
+
+func TestMetaCap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxMappings = 8
+	p := New(cfg)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		p.OnAccess(prefetch.AccessInfo{PC: 0x400, Addr: uint64(rng.Intn(1<<20)) &^ 63})
+	}
+	if len(p.ps) > 16 { // cap + in-flight pair slack
+		t.Errorf("meta grew past cap: %d", len(p.ps))
+	}
+	if p.MetaOverflows == 0 {
+		t.Error("no overflow recorded")
+	}
+}
+
+func TestRemappingInvariant(t *testing.T) {
+	p := New(DefaultConfig())
+	// Retrain the same physical block into a different stream: the old
+	// structural slot must be unlinked (bijection preserved).
+	touch(p, 0x400, []uint64{0x1000, 0x2000})
+	touch(p, 0x500, []uint64{0x9000, 0x2000})
+	fwd := map[uint64]int{}
+	for s, phys := range p.sp {
+		if got, dup := fwd[phys]; dup {
+			t.Fatalf("block %#x mapped at two structural addresses (%d, %d)", phys, got, s)
+		}
+		fwd[phys] = int(s)
+	}
+	for phys, s := range p.ps {
+		if p.sp[s] != phys {
+			t.Fatalf("ps/sp disagree for block %#x", phys)
+		}
+	}
+}
+
+func TestStorageGrowsWithMeta(t *testing.T) {
+	p := New(DefaultConfig())
+	before := p.StorageBits()
+	touch(p, 0x400, []uint64{0x1000, 0x2000, 0x3000, 0x4000})
+	if p.StorageBits() <= before {
+		t.Error("meta-data growth not reflected in storage accounting")
+	}
+	if p.MetaBytes() != p.StorageBits()/8 {
+		t.Error("MetaBytes inconsistent")
+	}
+}

@@ -1,0 +1,120 @@
+// Package mem provides the sparse, paged, byte-addressable memory backing
+// every simulated address space. Pages are allocated on first touch, so a
+// workload with a multi-gigabyte address range costs only its resident set.
+package mem
+
+import "encoding/binary"
+
+// PageBytes is the allocation granularity.
+const PageBytes = 4096
+
+type page [PageBytes]byte
+
+// Memory is one simulated address space. The zero value is not usable; call
+// New. Memory is not safe for concurrent mutation; each simulated core owns
+// its own address space (the workloads are multiprogrammed, not shared
+// memory).
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// New returns an empty address space.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+func (m *Memory) pageFor(addr uint64, alloc bool) *page {
+	pn := addr / PageBytes
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new(page)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Read8 returns the byte at addr; untouched memory reads as zero.
+func (m *Memory) Read8(addr uint64) byte {
+	if p := m.pageFor(addr, false); p != nil {
+		return p[addr%PageBytes]
+	}
+	return 0
+}
+
+// Write8 stores one byte at addr.
+func (m *Memory) Write8(addr uint64, v byte) {
+	m.pageFor(addr, true)[addr%PageBytes] = v
+}
+
+// Read64 returns the little-endian 64-bit word at addr. The common case
+// (access within one page) is fast-pathed; page-straddling accesses fall
+// back to byte loops.
+func (m *Memory) Read64(addr uint64) uint64 {
+	off := addr % PageBytes
+	if off <= PageBytes-8 {
+		p := m.pageFor(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(p[off:])
+	}
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(m.Read8(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// Write64 stores a little-endian 64-bit word at addr.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	off := addr % PageBytes
+	if off <= PageBytes-8 {
+		binary.LittleEndian.PutUint64(m.pageFor(addr, true)[off:], v)
+		return
+	}
+	for i := uint64(0); i < 8; i++ {
+		m.Write8(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// ReadInt64 and WriteInt64 are signed conveniences used by the emulators.
+
+func (m *Memory) ReadInt64(addr uint64) int64     { return int64(m.Read64(addr)) }
+func (m *Memory) WriteInt64(addr uint64, v int64) { m.Write64(addr, uint64(v)) }
+
+// FootprintBytes reports the resident size (touched pages × page size).
+func (m *Memory) FootprintBytes() int { return len(m.pages) * PageBytes }
+
+// Clone returns a deep copy of the address space. Simulation runs that
+// compare configurations start from clones of one initialized image so that
+// stores in one run cannot leak into another.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for pn, p := range m.pages {
+		cp := *p
+		c.pages[pn] = &cp
+	}
+	return c
+}
+
+// Equal reports whether two address spaces have identical contents
+// (zero-filled pages compare equal to absent pages).
+func Equal(a, b *Memory) bool {
+	return a.coveredBy(b) && b.coveredBy(a)
+}
+
+func (m *Memory) coveredBy(o *Memory) bool {
+	for pn, p := range m.pages {
+		q := o.pages[pn]
+		if q == nil {
+			if *p != (page{}) {
+				return false
+			}
+			continue
+		}
+		if *p != *q {
+			return false
+		}
+	}
+	return true
+}

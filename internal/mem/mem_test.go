@@ -1,0 +1,124 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroFill(t *testing.T) {
+	m := New()
+	if v := m.Read64(0x1234); v != 0 {
+		t.Errorf("untouched read = %#x", v)
+	}
+	if m.FootprintBytes() != 0 {
+		t.Errorf("footprint after read = %d", m.FootprintBytes())
+	}
+}
+
+func TestReadWrite64(t *testing.T) {
+	m := New()
+	m.Write64(0x1000, 0xDEADBEEFCAFEF00D)
+	if v := m.Read64(0x1000); v != 0xDEADBEEFCAFEF00D {
+		t.Errorf("read = %#x", v)
+	}
+	// Byte-level view must be little-endian.
+	if b := m.Read8(0x1000); b != 0x0D {
+		t.Errorf("low byte = %#x", b)
+	}
+	if b := m.Read8(0x1007); b != 0xDE {
+		t.Errorf("high byte = %#x", b)
+	}
+}
+
+func TestPageStraddle(t *testing.T) {
+	m := New()
+	addr := uint64(PageBytes - 3) // straddles first page boundary
+	m.Write64(addr, 0x1122334455667788)
+	if v := m.Read64(addr); v != 0x1122334455667788 {
+		t.Errorf("straddled read = %#x", v)
+	}
+	if m.FootprintBytes() != 2*PageBytes {
+		t.Errorf("footprint = %d, want two pages", m.FootprintBytes())
+	}
+}
+
+func TestSignedAccessors(t *testing.T) {
+	m := New()
+	m.WriteInt64(64, -42)
+	if v := m.ReadInt64(64); v != -42 {
+		t.Errorf("signed read = %d", v)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	m := New()
+	m.Write64(0, 7)
+	c := m.Clone()
+	c.Write64(0, 9)
+	if m.Read64(0) != 7 {
+		t.Error("clone write leaked into original")
+	}
+	if c.Read64(0) != 9 {
+		t.Error("clone write lost")
+	}
+	m.Write64(8, 1)
+	if c.Read64(8) != 0 {
+		t.Error("original write leaked into clone")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(), New()
+	if !Equal(a, b) {
+		t.Error("two empty spaces unequal")
+	}
+	a.Write64(0x100, 5)
+	if Equal(a, b) {
+		t.Error("differing spaces equal")
+	}
+	b.Write64(0x100, 5)
+	if !Equal(a, b) {
+		t.Error("identical spaces unequal")
+	}
+	// A page holding only zeros equals an absent page.
+	a.Write64(0x9000, 1)
+	a.Write64(0x9000, 0)
+	if !Equal(a, b) {
+		t.Error("zeroed page should equal absent page")
+	}
+}
+
+// Property: a sequence of 64-bit writes at arbitrary (possibly overlapping,
+// possibly straddling) addresses reads back exactly as a map-of-bytes model
+// predicts.
+func TestQuickVsByteModel(t *testing.T) {
+	type op struct {
+		Addr uint32
+		Val  uint64
+	}
+	f := func(ops []op, probes []uint32) bool {
+		m := New()
+		model := map[uint64]byte{}
+		for _, o := range ops {
+			addr := uint64(o.Addr)
+			m.Write64(addr, o.Val)
+			for i := uint64(0); i < 8; i++ {
+				model[addr+i] = byte(o.Val >> (8 * i))
+			}
+		}
+		for _, p := range probes {
+			addr := uint64(p)
+			var want uint64
+			for i := uint64(0); i < 8; i++ {
+				want |= uint64(model[addr+i]) << (8 * i)
+			}
+			if m.Read64(addr) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

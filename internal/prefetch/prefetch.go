@@ -1,0 +1,161 @@
+// Package prefetch defines the prefetcher interface the simulated cores
+// drive, a bounded prefetch queue shared by all implementations, and the two
+// classic light-weight prefetchers the paper compares against: Next-N lines
+// (Smith, 1978) and the stride/reference-prediction-table prefetcher
+// (Chen & Baer, 1995), configured at degree 8 as in §V-A.
+package prefetch
+
+import "repro/internal/isa"
+
+// DecodeInfo describes a control instruction leaving the decode stage; this
+// is the feed into B-Fetch's Decoded Branch Register. The front end annotates
+// it with its prediction metadata so a lookahead engine can pick up control
+// flow exactly where fetch left it.
+type DecodeInfo struct {
+	PC        uint64 // byte address of the control instruction
+	Op        isa.Op
+	Target    uint64 // static target (direct branches/jumps), else 0
+	PredTaken bool   // fetch-time predicted direction
+	PredNext  uint64 // fetch-time predicted next PC
+	GHR       uint64 // global history the fetch prediction was made with
+}
+
+// CommitInfo describes one instruction retiring in program order. Regs
+// points at the committed architectural register file after the
+// instruction's effects; it is owned by the core and only valid during the
+// call.
+type CommitInfo struct {
+	PC       uint64
+	Inst     isa.Inst
+	EA       uint64 // memory ops: effective address
+	Taken    bool   // control ops: resolved direction
+	Next     uint64 // byte address of the next retired instruction
+	TargetPC uint64 // direct control ops: static taken-target byte address
+	Regs     *[isa.NumRegs]int64
+}
+
+// AccessInfo describes a demand access issued to the L1D.
+type AccessInfo struct {
+	PC    uint64
+	Addr  uint64
+	Write bool
+	Hit   bool
+}
+
+// Request is one prefetch the engine wants issued to the L1D. LoadPC
+// attributes the request to the load it anticipates, for per-load filtering
+// and feedback.
+type Request struct {
+	Addr   uint64
+	LoadPC uint64
+}
+
+// Prefetcher is the contract between a core and its prefetch engine. A
+// miss-driven prefetcher typically only uses OnAccess; B-Fetch uses the
+// decode and commit streams and a per-cycle Tick for its lookahead pipeline.
+type Prefetcher interface {
+	Name() string
+
+	// OnDecode observes decoded control instructions.
+	OnDecode(DecodeInfo)
+	// OnCommit observes the in-order retirement stream.
+	OnCommit(CommitInfo)
+	// OnAccess observes demand L1D accesses.
+	OnAccess(AccessInfo)
+
+	// PrefetchUseful and PrefetchUseless deliver cache feedback about
+	// blocks this prefetcher filled.
+	PrefetchUseful(loadPC, blockAddr uint64)
+	PrefetchUseless(loadPC, blockAddr uint64)
+
+	// Tick advances one cycle and returns the requests to issue this cycle.
+	// The returned slice is valid until the next call.
+	Tick(now uint64) []Request
+
+	// StorageBits reports the hardware state the prefetcher would occupy.
+	StorageBits() int
+}
+
+// Base provides no-op hook implementations for embedding.
+type Base struct{}
+
+func (Base) OnDecode(DecodeInfo)            {}
+func (Base) OnCommit(CommitInfo)            {}
+func (Base) OnAccess(AccessInfo)            {}
+func (Base) PrefetchUseful(uint64, uint64)  {}
+func (Base) PrefetchUseless(uint64, uint64) {}
+func (Base) Tick(uint64) []Request          { return nil }
+func (Base) StorageBits() int               { return 0 }
+
+// None is the null prefetcher (the paper's baseline).
+type None struct{ Base }
+
+func (None) Name() string { return "none" }
+
+// Queue is the bounded prefetch request queue every engine drains through.
+// It deduplicates by block address against its own contents and issues a
+// fixed number of requests per cycle. Table I sizes B-Fetch's queue at 100
+// entries.
+type Queue struct {
+	buf      []Request
+	capacity int
+	perCycle int
+	inQ      map[uint64]bool
+
+	Enqueued    uint64
+	DroppedFull uint64
+	DroppedDup  uint64
+}
+
+// NewQueue returns a queue with the given capacity and per-cycle issue
+// limit.
+func NewQueue(capacity, perCycle int) *Queue {
+	return &Queue{
+		capacity: capacity,
+		perCycle: perCycle,
+		inQ:      make(map[uint64]bool, capacity),
+	}
+}
+
+// Push enqueues a request, dropping it if the queue is full or a request for
+// the same block is already pending.
+func (q *Queue) Push(r Request) {
+	ba := r.Addr >> 6
+	if q.inQ[ba] {
+		q.DroppedDup++
+		return
+	}
+	if len(q.buf) >= q.capacity {
+		q.DroppedFull++
+		return
+	}
+	q.buf = append(q.buf, r)
+	q.inQ[ba] = true
+	q.Enqueued++
+}
+
+// PopCycle removes and returns up to the per-cycle issue limit.
+func (q *Queue) PopCycle() []Request {
+	n := q.perCycle
+	if n > len(q.buf) {
+		n = len(q.buf)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Request, n)
+	copy(out, q.buf[:n])
+	q.buf = q.buf[:copy(q.buf, q.buf[n:])]
+	for _, r := range out {
+		delete(q.inQ, r.Addr>>6)
+	}
+	return out
+}
+
+// Len returns the number of pending requests.
+func (q *Queue) Len() int { return len(q.buf) }
+
+// StorageBits sizes the queue as hardware: one block-granular physical
+// address (42 bits at 48-bit physical) per entry, which is how Table I's
+// "Prefetch Queue: 100 entries, 0.51 KB" is reached.
+func (q *Queue) StorageBits() int { return q.capacity * 42 }

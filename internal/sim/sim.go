@@ -1,0 +1,298 @@
+// Package sim assembles complete simulated systems — single-core or CMP with
+// a shared LLC and DRAM channel — from the substrate packages, and provides
+// the run/warmup/measure loop every experiment uses.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/isb"
+	"repro/internal/prefetch"
+	"repro/internal/sms"
+	"repro/internal/stems"
+	"repro/internal/workload"
+)
+
+// PrefetcherKind names the prefetcher configurations the paper evaluates.
+type PrefetcherKind string
+
+const (
+	PFNone    PrefetcherKind = "none"
+	PFStride  PrefetcherKind = "stride"
+	PFSMS     PrefetcherKind = "sms"
+	PFBFetch  PrefetcherKind = "bfetch"
+	PFPerfect PrefetcherKind = "perfect" // oracle: every L1D read hits
+	PFNextN   PrefetcherKind = "nextn"
+	PFCustom  PrefetcherKind = "custom" // built by Config.Factory
+	PFISB     PrefetcherKind = "isb"    // heavy-weight comparator (extension)
+	PFSTeMS   PrefetcherKind = "stems"  // heavy-weight comparator (extension)
+)
+
+// Kinds returns the prefetchers in the order the paper's figures use.
+var Kinds = []PrefetcherKind{PFNone, PFStride, PFSMS, PFBFetch}
+
+// Config describes one system under test. The zero value is not valid; use
+// Default and adjust.
+type Config struct {
+	Cores int
+
+	CPU        cpu.Config
+	Hier       cache.HierarchyConfig
+	LLCPerCore int // bytes of shared LLC per core (Table II: 2 MB/core)
+	LLCWays    int
+	LLCLatency uint64
+
+	Branch     branch.Config
+	Confidence branch.ConfidenceConfig
+
+	// DRAMCyclesPerFill is the shared channel's occupancy per 64-byte
+	// transfer; Table II's 12.8 GB/s at 3.2 GHz is 16.
+	DRAMCyclesPerFill uint64
+
+	Prefetcher PrefetcherKind
+	BFetch     core.Config // used when Prefetcher == PFBFetch
+	SMS        sms.Config  // used when Prefetcher == PFSMS
+	Stride     prefetch.StrideConfig
+	NextN      int
+	ISB        isb.Config   // used when Prefetcher == PFISB
+	STeMS      stems.Config // used when Prefetcher == PFSTeMS
+
+	// Factory builds the prefetcher when Prefetcher == PFCustom; it is
+	// called once per core with that core's branch predictor and
+	// confidence estimator (which B-Fetch-style engines may share).
+	Factory func(bp *branch.Predictor, conf *branch.Confidence) prefetch.Prefetcher
+}
+
+// Default returns the Table II baseline with the given prefetcher.
+func Default(pf PrefetcherKind) Config {
+	return Config{
+		Cores:      1,
+		CPU:        cpu.DefaultConfig(),
+		Hier:       cache.DefaultHierarchyConfig(),
+		LLCPerCore: 2 << 20,
+		LLCWays:    16,
+		LLCLatency: 20,
+		Branch:     branch.DefaultConfig(),
+		Confidence: branch.DefaultConfidenceConfig(),
+
+		DRAMCyclesPerFill: 16,
+		Prefetcher: pf,
+		BFetch:     core.DefaultConfig(),
+		SMS:        sms.DefaultConfig(),
+		Stride:     prefetch.DefaultStrideConfig(),
+		NextN:      4,
+		ISB:        isb.DefaultConfig(),
+		STeMS:      stems.DefaultConfig(),
+	}
+}
+
+// System is an assembled simulation: cores with private hierarchies over a
+// shared LLC and DRAM channel.
+type System struct {
+	Cfg   Config
+	Cores []*cpu.Core
+	PFs   []prefetch.Prefetcher
+	LLC   *cache.Cache
+	DRAM  *cache.DRAM
+
+	clock uint64
+}
+
+// New builds a system running the given applications, one per core.
+func New(cfg Config, apps []workload.Workload) (*System, error) {
+	if cfg.Cores != len(apps) {
+		return nil, fmt.Errorf("sim: %d cores but %d applications", cfg.Cores, len(apps))
+	}
+	dram := cache.NewDRAM()
+	if cfg.DRAMCyclesPerFill > 0 {
+		dram.CyclesPerFill = cfg.DRAMCyclesPerFill
+	}
+	llc := cache.New(cache.Config{
+		Name:    "L3",
+		Bytes:   cfg.LLCPerCore * cfg.Cores,
+		Ways:    cfg.LLCWays,
+		Latency: cfg.LLCLatency,
+	}, dram)
+
+	s := &System{Cfg: cfg, LLC: llc, DRAM: dram}
+	for i, app := range apps {
+		prog, image := app.Build()
+		hier := cache.NewHierarchy(cfg.Hier, llc, i)
+		bp := branch.New(cfg.Branch)
+		conf := branch.NewConfidence(cfg.Confidence)
+
+		var pf prefetch.Prefetcher
+		switch cfg.Prefetcher {
+		case PFNone, PFPerfect:
+			pf = prefetch.None{}
+		case PFStride:
+			pf = prefetch.NewStride(cfg.Stride)
+		case PFNextN:
+			pf = prefetch.NewNextN(cfg.NextN)
+		case PFSMS:
+			pf = sms.New(cfg.SMS)
+		case PFISB:
+			pf = isb.New(cfg.ISB)
+		case PFSTeMS:
+			pf = stems.New(cfg.STeMS)
+		case PFBFetch:
+			pf = core.New(cfg.BFetch, bp, conf)
+		case PFCustom:
+			if cfg.Factory == nil {
+				return nil, fmt.Errorf("sim: custom prefetcher without a Factory")
+			}
+			pf = cfg.Factory(bp, conf)
+		default:
+			return nil, fmt.Errorf("sim: unknown prefetcher %q", cfg.Prefetcher)
+		}
+		if cfg.Prefetcher == PFPerfect {
+			hier.L1D.Perfect = true
+		}
+		hier.L1D.SetFeedback(feedbackAdapter{pf})
+
+		c := cpu.New(cfg.CPU, prog, image, hier, bp, conf, pf)
+		s.Cores = append(s.Cores, c)
+		s.PFs = append(s.PFs, pf)
+	}
+	return s, nil
+}
+
+// feedbackAdapter routes L1D prefetch feedback into the prefetcher.
+type feedbackAdapter struct{ pf prefetch.Prefetcher }
+
+func (f feedbackAdapter) PrefetchUseful(loadPC, blockAddr uint64) {
+	f.pf.PrefetchUseful(loadPC, blockAddr)
+}
+func (f feedbackAdapter) PrefetchUseless(loadPC, blockAddr uint64) {
+	f.pf.PrefetchUseless(loadPC, blockAddr)
+}
+
+// Run advances the shared clock until every core has committed instsPerCore
+// instructions (or halted), erroring out at the cycle bound or on an
+// architectural fault. Cores that reach their budget stop cycling, matching
+// the paper's run-until-all-done methodology.
+func (s *System) Run(instsPerCore, maxCycles uint64) error {
+	target := make([]uint64, len(s.Cores))
+	for i, c := range s.Cores {
+		target[i] = c.Stats.Committed + instsPerCore
+	}
+	limit := s.clock + maxCycles
+	for {
+		active := false
+		for i, c := range s.Cores {
+			if c.Halted() {
+				if err := c.Err(); err != nil {
+					return fmt.Errorf("sim: core %d: %w", i, err)
+				}
+				continue
+			}
+			if c.Stats.Committed >= target[i] {
+				continue
+			}
+			active = true
+			c.Cycle(s.clock)
+		}
+		if !active {
+			return nil
+		}
+		s.clock++
+		if s.clock >= limit {
+			return fmt.Errorf("sim: exceeded %d cycles before reaching %d instructions/core",
+				maxCycles, instsPerCore)
+		}
+	}
+}
+
+// ResetStats zeroes all measurement counters (after warmup) without touching
+// learned microarchitectural state.
+func (s *System) ResetStats() {
+	for _, c := range s.Cores {
+		c.Stats = cpu.Stats{}
+		c.Hierarchy().L1D.Stats = cache.Stats{}
+		c.Hierarchy().L2.Stats = cache.Stats{}
+		bp := c.Predictor()
+		bp.Lookups, bp.Mispredicts = 0, 0
+	}
+	s.LLC.Stats = cache.Stats{}
+	*s.DRAM = cache.DRAM{Latency: s.DRAM.Latency, CyclesPerFill: s.DRAM.CyclesPerFill}
+}
+
+// Result summarises a measured run.
+type Result struct {
+	IPC    []float64
+	Core   []cpu.Stats
+	L1D    []cache.Stats
+	LLC    cache.Stats
+	DRAM   cache.DRAM
+	Cycles uint64
+}
+
+// Snapshot collects the current counters.
+func (s *System) Snapshot() Result {
+	res := Result{LLC: s.LLC.Stats, DRAM: *s.DRAM, Cycles: s.clock}
+	for _, c := range s.Cores {
+		res.IPC = append(res.IPC, c.Stats.IPC())
+		res.Core = append(res.Core, c.Stats)
+		res.L1D = append(res.L1D, c.Hierarchy().L1D.Stats)
+	}
+	return res
+}
+
+// RunOpts sets the measurement protocol: warm up microarchitectural state,
+// reset counters, then measure.
+type RunOpts struct {
+	WarmupInsts  uint64
+	MeasureInsts uint64
+	// CyclesPerInst bounds runtime: the run aborts after
+	// (Warmup+Measure)×CyclesPerInst cycles. Zero means 1000.
+	CyclesPerInst uint64
+}
+
+// DefaultRunOpts is the measurement protocol used by the experiments, a
+// scaled-down analogue of the paper's 10 B fast-forward / 1 B warmup / 1 B
+// measure (§V-A).
+func DefaultRunOpts() RunOpts {
+	return RunOpts{WarmupInsts: 100_000, MeasureInsts: 300_000}
+}
+
+// Run builds a system for the named applications and executes the
+// warmup+measure protocol, returning the measured counters.
+func Run(cfg Config, appNames []string, opts RunOpts) (Result, error) {
+	apps := make([]workload.Workload, len(appNames))
+	for i, name := range appNames {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return Result{}, err
+		}
+		apps[i] = w
+	}
+	cfg.Cores = len(apps)
+	s, err := New(cfg, apps)
+	if err != nil {
+		return Result{}, err
+	}
+	cpi := opts.CyclesPerInst
+	if cpi == 0 {
+		cpi = 1000
+	}
+	if opts.WarmupInsts > 0 {
+		if err := s.Run(opts.WarmupInsts, opts.WarmupInsts*cpi); err != nil {
+			return Result{}, err
+		}
+		s.ResetStats()
+	}
+	if err := s.Run(opts.MeasureInsts, opts.MeasureInsts*cpi); err != nil {
+		return Result{}, err
+	}
+	return s.Snapshot(), nil
+}
+
+// RunSolo measures one application alone on a single-core configuration.
+func RunSolo(cfg Config, appName string, opts RunOpts) (Result, error) {
+	cfg.Cores = 1
+	return Run(cfg, []string{appName}, opts)
+}

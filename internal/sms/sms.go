@@ -1,0 +1,167 @@
+// Package sms implements Spatial Memory Streaming (Somogyi, Wenisch,
+// Ailamaki, Falsafi, Moshovos, ISCA 2006), the "best-of-class light-weight
+// prefetcher" B-Fetch compares against.
+//
+// SMS divides memory into fixed-size spatial regions. The first access to a
+// region (the trigger) starts a generation: an Active Generation Table (AGT)
+// entry accumulates a bit pattern of the blocks touched within the region.
+// When the generation ends, the pattern is stored in a Pattern History Table
+// (PHT) indexed by the trigger's (PC, region offset). The next time the same
+// trigger recurs, the stored pattern is replayed as prefetches for the whole
+// region.
+//
+// Following the paper's practical configuration (§IV-C): 2 KB spatial
+// regions, a 64-entry AGT and a 16K-entry PHT. The original filter table is
+// omitted, as in the JILP 2011 follow-up the paper cites — accumulation
+// handles filtering. Generations end on AGT replacement, the practical proxy
+// for region eviction.
+package sms
+
+import "repro/internal/prefetch"
+
+// Config sizes the prefetcher.
+type Config struct {
+	RegionBytes int // spatial region size (power of two, ≥ 128)
+	AGTEntries  int
+	PHTEntries  int // power of two, tagless direct-mapped
+}
+
+// DefaultConfig is the paper's practical SMS configuration.
+func DefaultConfig() Config {
+	return Config{RegionBytes: 2048, AGTEntries: 64, PHTEntries: 16384}
+}
+
+type agtEntry struct {
+	valid      bool
+	regionTag  uint64
+	triggerPC  uint64
+	triggerOff int // block offset of the trigger within the region
+	pattern    uint64
+	lastUse    uint64
+}
+
+// SMS is the prefetcher.
+type SMS struct {
+	prefetch.Base
+	cfg         Config
+	regionShift uint
+	blocksPer   int
+	agt         []agtEntry
+	pht         []uint64
+	queue       *prefetch.Queue
+	clock       uint64
+
+	// Stats.
+	Generations uint64
+	PHTHits     uint64
+}
+
+// New builds an SMS prefetcher.
+func New(cfg Config) *SMS {
+	if cfg.RegionBytes < 128 || cfg.RegionBytes&(cfg.RegionBytes-1) != 0 {
+		panic("sms: region bytes must be a power of two ≥ 128")
+	}
+	if cfg.PHTEntries <= 0 || cfg.PHTEntries&(cfg.PHTEntries-1) != 0 {
+		panic("sms: PHT entries must be a power of two")
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.RegionBytes {
+		shift++
+	}
+	blocks := cfg.RegionBytes / 64
+	if blocks > 64 {
+		panic("sms: region too large for a 64-bit pattern")
+	}
+	return &SMS{
+		cfg:         cfg,
+		regionShift: shift,
+		blocksPer:   blocks,
+		agt:         make([]agtEntry, cfg.AGTEntries),
+		pht:         make([]uint64, cfg.PHTEntries),
+		queue:       prefetch.NewQueue(100, 2),
+	}
+}
+
+func (s *SMS) Name() string { return "sms" }
+
+func (s *SMS) phtIdx(pc uint64, off int) int {
+	h := (pc >> 2) ^ (pc >> 13) ^ uint64(off)*0x9E37
+	return int(h & uint64(s.cfg.PHTEntries-1))
+}
+
+// OnAccess accumulates patterns and replays stored ones on region triggers.
+func (s *SMS) OnAccess(a prefetch.AccessInfo) {
+	s.clock++
+	region := a.Addr >> s.regionShift
+	off := int((a.Addr >> 6) & uint64(s.blocksPer-1))
+
+	// Accumulate into an active generation.
+	for i := range s.agt {
+		e := &s.agt[i]
+		if e.valid && e.regionTag == region {
+			e.pattern |= 1 << off
+			e.lastUse = s.clock
+			return
+		}
+	}
+
+	// Trigger: new generation. Recycle the LRU entry, training the PHT with
+	// the generation it closes.
+	victim := &s.agt[0]
+	for i := range s.agt {
+		if !s.agt[i].valid {
+			victim = &s.agt[i]
+			break
+		}
+		if s.agt[i].lastUse < victim.lastUse {
+			victim = &s.agt[i]
+		}
+	}
+	if victim.valid {
+		s.train(victim)
+	}
+	*victim = agtEntry{
+		valid: true, regionTag: region, triggerPC: a.PC,
+		triggerOff: off, pattern: 1 << off, lastUse: s.clock,
+	}
+	s.Generations++
+
+	// Replay the stored pattern for this trigger, if any.
+	pattern := s.pht[s.phtIdx(a.PC, off)]
+	if pattern == 0 {
+		return
+	}
+	s.PHTHits++
+	base := region << s.regionShift
+	for b := 0; b < s.blocksPer; b++ {
+		if b == off || pattern&(1<<b) == 0 {
+			continue
+		}
+		s.queue.Push(prefetch.Request{Addr: base + uint64(b*64), LoadPC: a.PC})
+	}
+}
+
+func (s *SMS) train(e *agtEntry) {
+	// Patterns with a single touched block predict nothing; storing them
+	// only pollutes the PHT.
+	if e.pattern&(e.pattern-1) == 0 {
+		return
+	}
+	s.pht[s.phtIdx(e.triggerPC, e.triggerOff)] = e.pattern
+}
+
+// Tick drains the prefetch queue.
+func (s *SMS) Tick(now uint64) []prefetch.Request { return s.queue.PopCycle() }
+
+// StorageBits reports SMS hardware state: AGT entries hold a region tag
+// (34 bits), trigger PC (32), trigger offset (log2 blocks) and the pattern;
+// the tagless PHT holds one pattern per entry.
+func (s *SMS) StorageBits() int {
+	offBits := 0
+	for 1<<offBits < s.blocksPer {
+		offBits++
+	}
+	agtBits := s.cfg.AGTEntries * (34 + 32 + offBits + s.blocksPer)
+	phtBits := s.cfg.PHTEntries * s.blocksPer
+	return agtBits + phtBits + s.queue.StorageBits()
+}

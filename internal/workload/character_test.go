@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+)
+
+// Character conformance: each kernel's documented access-pattern class must
+// be visible in its dynamic behaviour, otherwise the DESIGN.md substitution
+// argument (classes of SPEC behaviour are preserved) would silently rot.
+
+type dynProfile struct {
+	loads        uint64
+	regularLoads uint64 // loads whose per-PC stride matches the previous one
+	takenRate    float64
+	branchEvery  float64 // instructions per control instruction
+}
+
+func dynProfileOf(t *testing.T, w Workload, insts uint64) dynProfile {
+	t.Helper()
+	prog, image := w.Build()
+	cpu := emu.New(prog, image)
+
+	type last struct {
+		addr   uint64
+		stride int64
+		valid  bool
+	}
+	perPC := map[int]*last{}
+	var p dynProfile
+	var branches, taken uint64
+	cpu.OnRetire = func(r emu.Retire) {
+		switch {
+		case r.Inst.IsLoad():
+			p.loads++
+			l := perPC[r.Index]
+			if l == nil {
+				l = &last{}
+				perPC[r.Index] = l
+			}
+			stride := int64(r.EA) - int64(l.addr)
+			if l.valid && stride == l.stride && stride != 0 {
+				p.regularLoads++
+			}
+			l.stride, l.addr, l.valid = stride, r.EA, true
+		case r.Inst.IsControl():
+			branches++
+			if r.Taken {
+				taken++
+			}
+		}
+	}
+	if _, err := cpu.Run(insts); err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	if branches > 0 {
+		p.takenRate = float64(taken) / float64(branches)
+		p.branchEvery = float64(insts) / float64(branches)
+	}
+	return p
+}
+
+func TestCharacterConformance(t *testing.T) {
+	const insts = 100_000
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			p := dynProfileOf(t, w, insts)
+			regularity := float64(p.regularLoads) / float64(p.loads)
+			switch w.Character {
+			case "streaming", "strided", "stencil":
+				if regularity < 0.8 {
+					t.Errorf("%s kernel has stride regularity %.2f, want ≥0.8",
+						w.Character, regularity)
+				}
+			case "dp":
+				// Row streams plus a gathered score table: semi-regular.
+				if regularity < 0.55 || regularity > 0.9 {
+					t.Errorf("dp kernel has stride regularity %.2f, want mixed band", regularity)
+				}
+			case "pointer", "region":
+				if regularity > 0.4 {
+					t.Errorf("%s kernel has stride regularity %.2f, want ≤0.4",
+						w.Character, regularity)
+				}
+			case "gather", "mixed", "compute":
+				// Mixed regular/irregular: no regularity constraint, but the
+				// kernel must still branch like a program.
+			default:
+				t.Fatalf("undocumented character %q", w.Character)
+			}
+			if p.branchEvery > 40 {
+				t.Errorf("only one control instruction per %.0f instructions — not representative",
+					p.branchEvery)
+			}
+		})
+	}
+}
+
+// The milc kernel's specific corner-case geometry (§V-B1): its loads within
+// one site record must be spaced wider than B-Fetch's ±5-block pattern
+// vectors but inside one 2 KB SMS region.
+func TestMilcGeometry(t *testing.T) {
+	w, err := ByName("milc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, image := w.Build()
+	cpu := emu.New(prog, image)
+	var eas []uint64
+	cpu.OnRetire = func(rt emu.Retire) {
+		if rt.Inst.IsLoad() && rt.Inst.BaseReg() == r(ptr) {
+			// Payload loads only (the pointer load reloads the base).
+			if rt.Inst.Imm != 0 {
+				eas = append(eas, rt.EA)
+			}
+		}
+	}
+	if _, err := cpu.Run(2_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(eas) < 10 {
+		t.Fatalf("too few payload loads: %d", len(eas))
+	}
+	for i := 1; i < len(eas); i++ {
+		d := int64(eas[i]) - int64(eas[i-1])
+		if d < 0 {
+			continue // next site
+		}
+		blocks := d / 64
+		if blocks > 0 && blocks <= 5 {
+			t.Fatalf("intra-site spacing %d blocks is within B-Fetch's pattern reach", blocks)
+		}
+		if d >= 2048 {
+			continue
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Irregular kernels: pointer chasing, indexed gathers, and the spatially
+// clustered milc pattern — the workloads miss-driven prefetchers struggle
+// with and the motivation for B-Fetch's register-plus-offset speculation.
+
+func init() {
+	register(Workload{
+		Name:            "mcf",
+		Description:     "network-simplex stand-in: sequential arc-record scan with per-arc gathers into shuffled node records",
+		Character:       "mixed",
+		MemoryIntensive: true,
+		build:           buildMCF,
+	})
+	register(Workload{
+		Name:            "astar",
+		Description:     "pathfinding stand-in: data-dependent walk over a grid of 64-byte cells with branchy neighbour choice",
+		Character:       "pointer",
+		MemoryIntensive: true,
+		build:           buildAstar,
+	})
+	register(Workload{
+		Name:            "gromacs",
+		Description:     "molecular-dynamics stand-in: streaming neighbour list driving gathers of 3-word particle records",
+		Character:       "gather",
+		MemoryIntensive: true,
+		build:           buildGromacs,
+	})
+	register(Workload{
+		Name:            "soplex",
+		Description:     "LP solver stand-in: sparse column walk with streamed indices and scattered vector gathers",
+		Character:       "gather",
+		MemoryIntensive: true,
+		build:           buildSoplex,
+	})
+	register(Workload{
+		Name:            "sphinx",
+		Description:     "speech scoring stand-in: large-strided mixture-table walk with running-max branches",
+		Character:       "strided",
+		MemoryIntensive: true,
+		build:           buildSphinx,
+	})
+	register(Workload{
+		Name:            "milc",
+		Description:     "lattice QCD stand-in: shuffled site visits, each touching widely spaced blocks of a 2 KB site record",
+		Character:       "region",
+		MemoryIntensive: true,
+		build:           buildMILC,
+	})
+}
+
+func buildMCF() (*isa.Program, *mem.Memory) {
+	const (
+		arcs     = 0x1000_0000
+		nodeSize = 64
+		nodes    = 64 * 1024 // 4 MB
+	)
+	m := mem.New()
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < nodes; i++ {
+		base := uint64(arcs + i*nodeSize)
+		m.WriteInt64(base+8, rng.Int63n(1000))  // cost
+		m.WriteInt64(base+16, rng.Int63n(1000)) // flow
+		// Potentials sit well above flows, so the update branch is biased
+		// ≈90% not-taken like mcf's real pricing test, keeping it
+		// predictable while still data-dependent.
+		m.WriteInt64(base+32, 900+rng.Int63n(1000))
+	}
+	permutation(m, arcs, nodes, nodeSize, rng)
+
+	b := isa.NewBuilder()
+	b.Movi(r(acc), 0)
+	outerLoop(b, 1_000_000, func() {
+		// One pricing sweep, modelled on mcf's primal_bea_mpp: arcs are
+		// scanned sequentially (256-byte records), but each arc's head-node
+		// potential is reached through a stored pointer — a per-arc gather
+		// into the shuffled node space — and a data-dependent branch
+		// decides whether the arc's flow is updated.
+		b.Movi(r(ptr), arcs)
+		b.Movi(r(cnt1), nodes-1)
+		top := b.Here()
+		noUpdate := b.NewLabel()
+		b.Ld(r(tmpA), r(ptr), 8)   // cost
+		b.Ld(r(tmpB), r(ptr), 16)  // flow
+		b.Ld(r(tmpE), r(ptr), 0)   // head-node pointer (shuffled)
+		b.Ld(r(tmpC), r(tmpE), 32) // head node potential (gather)
+		b.Add(r(acc), r(acc), r(tmpA))
+		b.Sub(r(tmpD), r(tmpB), r(tmpC))
+		b.Bltz(r(tmpD), noUpdate)
+		b.Add(r(tmpB), r(tmpB), r(tmpA))
+		b.St(r(tmpB), r(ptr), 16)
+		b.Bind(noUpdate)
+		b.Addi(r(ptr), r(ptr), nodeSize) // next arc, in order
+		b.Addi(r(cnt1), r(cnt1), -1)
+		b.Bnez(r(cnt1), top)
+	})
+	return b.MustProgram(), m
+}
+
+func buildAstar() (*isa.Program, *mem.Memory) {
+	const (
+		grid     = 0x1000_0000
+		cellSize = 64
+		cells    = 32 * 1024 // 2 MB
+		idxMask  = cells - 1
+	)
+	m := mem.New()
+	rng := rand.New(rand.NewSource(37))
+	for i := 0; i < cells; i++ {
+		base := uint64(grid + i*cellSize)
+		m.WriteInt64(base, int64(rng.Intn(cells)))   // neighbour A
+		m.WriteInt64(base+8, int64(rng.Intn(cells))) // neighbour B
+		m.WriteInt64(base+16, rng.Int63n(100))       // cost A
+		m.WriteInt64(base+24, rng.Int63n(100))       // cost B
+	}
+
+	b := isa.NewBuilder()
+	b.Movi(r(base0), grid)
+	b.Movi(r(idx), 0)
+	b.Movi(r(acc), 0)
+	outerLoop(b, 50_000_000, func() {
+		// One expansion: load the cell, compare neighbour costs (hard
+		// branch), step to the cheaper neighbour.
+		pickB := b.NewLabel()
+		join := b.NewLabel()
+		b.Andi(r(tmpG), r(idx), idxMask)
+		b.Slli(r(tmpG), r(tmpG), 6) // ×64
+		b.Add(r(addr), r(base0), r(tmpG))
+		b.Ld(r(tmpA), r(addr), 0)  // neighbour A index
+		b.Ld(r(tmpB), r(addr), 8)  // neighbour B index
+		b.Ld(r(tmpC), r(addr), 16) // cost A
+		b.Ld(r(tmpD), r(addr), 24) // cost B
+		b.Sub(r(tmpE), r(tmpC), r(tmpD))
+		b.Bgez(r(tmpE), pickB)
+		b.Mov(r(idx), r(tmpA))
+		b.Add(r(acc), r(acc), r(tmpC))
+		b.Jmp(join)
+		b.Bind(pickB)
+		b.Mov(r(idx), r(tmpB))
+		b.Add(r(acc), r(acc), r(tmpD))
+		b.Bind(join)
+		// Perturb the walk with the expansion counter so it explores the
+		// whole grid instead of settling into a fixed cycle (open-list
+		// behaviour), keeping the next-cell address data-dependent.
+		b.Xor(r(idx), r(idx), r(cnt0))
+	})
+	return b.MustProgram(), m
+}
+
+func buildGromacs() (*isa.Program, *mem.Memory) {
+	const (
+		nbrList   = 0x1000_0000
+		particles = 0x2000_0000
+		listWords = 128 * 1024 // 1 MB neighbour list
+		partCount = 128 * 1024 // 4 MB of 32-byte particle records
+	)
+	m := mem.New()
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < listWords; i++ {
+		m.WriteInt64(nbrList+8*uint64(i), int64(rng.Intn(partCount)))
+	}
+	fillRand(m, particles, partCount*32, rng)
+
+	b := isa.NewBuilder()
+	b.Movi(r(base1), particles)
+	b.Movi(r(acc), 0)
+	outerLoop(b, 1_000_000, func() {
+		// Sweep the neighbour list (streaming pointer) and gather each
+		// neighbour's position record (irregular, via the address temp),
+		// accumulating a force-like quantity.
+		b.Movi(r(base0), nbrList)
+		b.Movi(r(cnt1), listWords)
+		top := b.Here()
+		b.Ld(r(tmpA), r(base0), 0) // neighbour index
+		b.Slli(r(tmpA), r(tmpA), 5)
+		b.Add(r(addr), r(base1), r(tmpA))
+		b.Ld(r(tmpB), r(addr), 0)
+		b.Ld(r(tmpC), r(addr), 8)
+		b.Ld(r(tmpD), r(addr), 16)
+		b.Add(r(tmpB), r(tmpB), r(tmpC))
+		b.Sub(r(tmpB), r(tmpB), r(tmpD))
+		b.Add(r(acc), r(acc), r(tmpB))
+		b.Addi(r(base0), r(base0), 8)
+		b.Addi(r(cnt1), r(cnt1), -1)
+		b.Bnez(r(cnt1), top)
+	})
+	return b.MustProgram(), m
+}
+
+func buildSoplex() (*isa.Program, *mem.Memory) {
+	const (
+		colIdx  = 0x1000_0000 // row indices, streamed
+		colVal  = 0x2000_0000 // matrix values, streamed
+		vecX    = 0x3000_0000 // gathered vector
+		vecY    = 0x4000_0000 // accumulated result
+		entries = 256 * 1024  // 2 MB indices + 2 MB values
+		xWords  = 128 * 1024  // 1 MB
+		perCol  = 64
+	)
+	m := mem.New()
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < entries; i++ {
+		m.WriteInt64(colIdx+8*uint64(i), int64(rng.Intn(xWords)))
+	}
+	fillRand(m, colVal, entries*8, rng)
+	fillRand(m, vecX, xWords*8, rng)
+
+	b := isa.NewBuilder()
+	b.Movi(r(base2), vecX)
+	outerLoop(b, 1_000_000, func() {
+		// For each column: 64 entries of (stream idx, stream val, gather x).
+		b.Movi(r(base0), colIdx)
+		b.Movi(r(base1), colVal)
+		b.Movi(r(base3), vecY)
+		b.Movi(r(cnt1), entries/perCol)
+		col := b.Here()
+		b.Movi(r(cnt2), perCol)
+		b.Movi(r(acc), 0)
+		inner := b.Here()
+		b.Ld(r(tmpA), r(base0), 0) // row index (streamed)
+		b.Ld(r(tmpB), r(base1), 0) // value (streamed)
+		b.Slli(r(tmpA), r(tmpA), 3)
+		b.Add(r(addr), r(base2), r(tmpA))
+		b.Ld(r(tmpC), r(addr), 0) // x[row] (gathered)
+		b.Mul(r(tmpB), r(tmpB), r(tmpC))
+		b.Add(r(acc), r(acc), r(tmpB))
+		b.Addi(r(base0), r(base0), 8)
+		b.Addi(r(base1), r(base1), 8)
+		b.Addi(r(cnt2), r(cnt2), -1)
+		b.Bnez(r(cnt2), inner)
+		b.St(r(acc), r(base3), 0) // y[col]
+		b.Addi(r(base3), r(base3), 8)
+		b.Addi(r(cnt1), r(cnt1), -1)
+		b.Bnez(r(cnt1), col)
+	})
+	return b.MustProgram(), m
+}
+
+func buildSphinx() (*isa.Program, *mem.Memory) {
+	const (
+		table    = 0x1000_0000
+		tblWords = 512 * 1024 // 4 MB senone table
+		mixtures = 64
+		mixStep  = 8 * 1024 // bytes between mixture rows (large stride)
+	)
+	m := mem.New()
+	rng := rand.New(rand.NewSource(47))
+	fillRand(m, table, tblWords*8, rng)
+
+	b := isa.NewBuilder()
+	b.Movi(r(base0), table)
+	b.Movi(r(acc), 0)
+	b.Movi(r(tmpG), 0) // frame offset
+	outerLoop(b, 10_000_000, func() {
+		// Score one frame: walk 64 mixtures at a large fixed stride from a
+		// per-frame starting offset, tracking a running max (data branch).
+		noMax := b.NewLabel()
+		b.Movi(r(cnt1), mixtures)
+		b.Add(r(addr), r(base0), r(tmpG))
+		b.Movi(r(tmpE), -(1 << 60)) // running max
+		top := b.Here()
+		b.Ld(r(tmpA), r(addr), 0)
+		b.Ld(r(tmpB), r(addr), 8)
+		b.Add(r(tmpA), r(tmpA), r(tmpB))
+		b.Sub(r(tmpC), r(tmpA), r(tmpE))
+		b.Bltz(r(tmpC), noMax)
+		b.Mov(r(tmpE), r(tmpA))
+		b.Bind(noMax)
+		b.Addi(r(addr), r(addr), mixStep)
+		b.Addi(r(cnt1), r(cnt1), -1)
+		b.Bnez(r(cnt1), top)
+		b.Add(r(acc), r(acc), r(tmpE))
+		// Advance the frame window, wrapping within the table.
+		b.Addi(r(tmpG), r(tmpG), 128)
+		b.Andi(r(tmpG), r(tmpG), 2*megabyte-1) // wrap so walks stay in-table
+	})
+	return b.MustProgram(), m
+}
+
+func buildMILC() (*isa.Program, *mem.Memory) {
+	const (
+		sites    = 0x1000_0000
+		siteSize = 2048
+		nSites   = 4 * 1024 // 8 MB
+	)
+	m := mem.New()
+	rng := rand.New(rand.NewSource(53))
+	for i := 0; i < nSites; i++ {
+		base := uint64(sites + i*siteSize)
+		for f := 1; f < siteSize/8; f++ {
+			m.WriteInt64(base+uint64(8*f), rng.Int63n(1<<30))
+		}
+	}
+	permutation(m, sites, nSites, siteSize, rng)
+
+	b := isa.NewBuilder()
+	b.Movi(r(ptr), sites)
+	b.Movi(r(acc), 0)
+	outerLoop(b, 50_000_000, func() {
+		// One site update: touch su3-matrix blocks spread across the 2 KB
+		// site record at 6-block spacing — wider than B-Fetch's ±5-block
+		// pattern vectors but within one SMS spatial region (the paper's
+		// milc discussion, §V-B1).
+		b.Ld(r(tmpA), r(ptr), 384)
+		b.Ld(r(tmpB), r(ptr), 768)
+		b.Ld(r(tmpC), r(ptr), 1152)
+		b.Ld(r(tmpD), r(ptr), 1536)
+		b.Ld(r(tmpE), r(ptr), 1920)
+		b.Add(r(tmpA), r(tmpA), r(tmpB))
+		b.Add(r(tmpC), r(tmpC), r(tmpD))
+		b.Add(r(tmpA), r(tmpA), r(tmpC))
+		b.Add(r(acc), r(acc), r(tmpE))
+		b.Add(r(acc), r(acc), r(tmpA))
+		b.Ld(r(ptr), r(ptr), 0) // next site (shuffled)
+	})
+	return b.MustProgram(), m
+}

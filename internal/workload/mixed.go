@@ -1,0 +1,302 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Mixed and compute-bound kernels: the cache-resident end of the suite.
+// These are the benchmarks Figure 1 shows gaining little even from a
+// perfect prefetcher; they anchor the "prefetch insensitive" half of the
+// speedup distributions.
+
+func init() {
+	register(Workload{
+		Name:        "bzip2",
+		Description: "compression stand-in: streamed input words driving table lookups and run-length branches",
+		Character:   "mixed",
+		build:       buildBzip2,
+	})
+	register(Workload{
+		Name:        "calculix",
+		Description: "FEM stand-in: blocked dense matrix-vector products, mostly L2-resident",
+		Character:   "mixed",
+		build:       buildCalculix,
+	})
+	register(Workload{
+		Name:        "gamess",
+		Description: "quantum chemistry stand-in: Horner polynomial chains over L1-resident coefficient tables",
+		Character:   "compute",
+		build:       buildGamess,
+	})
+	register(Workload{
+		Name:        "h264ref",
+		Description: "video encoder stand-in: 2D block copies between frames with short branchy inner loops",
+		Character:   "mixed",
+		build:       buildH264,
+	})
+	register(Workload{
+		Name:            "hmmer",
+		Description:     "profile-HMM stand-in: dynamic-programming rows streamed against a gathered score table",
+		Character:       "dp",
+		MemoryIntensive: true,
+		build:           buildHmmer,
+	})
+	register(Workload{
+		Name:        "sjeng",
+		Description: "chess stand-in: xorshift-driven evaluation with hard data-dependent branches over small tables",
+		Character:   "compute",
+		build:       buildSjeng,
+	})
+}
+
+func buildBzip2() (*isa.Program, *mem.Memory) {
+	const (
+		input    = 0x1000_0000
+		freqTbl  = 0x2000_0000
+		inWords  = 128 * 1024 // 1 MB input
+		tblWords = 8 * 1024   // 64 KB table
+	)
+	m := mem.New()
+	rng := rand.New(rand.NewSource(59))
+	fillRand(m, input, inWords*8, rng)
+	fillSeq(m, freqTbl, tblWords)
+
+	b := isa.NewBuilder()
+	b.Movi(r(base1), freqTbl)
+	b.Movi(r(acc), 0)
+	outerLoop(b, 1_000_000, func() {
+		// Scan the input; each word indexes the frequency table (symbol
+		// histogram) and extends a run-length when the low bits repeat.
+		b.Movi(r(base0), input)
+		b.Movi(r(cnt1), inWords)
+		b.Movi(r(tmpF), 0) // previous symbol
+		top := b.Here()
+		newRun := b.NewLabel()
+		b.Ld(r(tmpA), r(base0), 0)
+		b.Andi(r(tmpB), r(tmpA), (tblWords-1)*8) // symbol ×8, table-bounded
+		b.Add(r(addr), r(base1), r(tmpB))
+		b.Ld(r(tmpC), r(addr), 0)
+		b.Addi(r(tmpC), r(tmpC), 1)
+		b.St(r(tmpC), r(addr), 0)
+		b.Sub(r(tmpD), r(tmpB), r(tmpF))
+		b.Bnez(r(tmpD), newRun)
+		b.Addi(r(acc), r(acc), 1) // run extends
+		b.Bind(newRun)
+		b.Mov(r(tmpF), r(tmpB))
+		b.Addi(r(base0), r(base0), 8)
+		b.Addi(r(cnt1), r(cnt1), -1)
+		b.Bnez(r(cnt1), top)
+	})
+	return b.MustProgram(), m
+}
+
+func buildCalculix() (*isa.Program, *mem.Memory) {
+	const (
+		matrix = 0x1000_0000
+		vecX   = 0x2000_0000
+		vecY   = 0x3000_0000
+		n      = 224 // 224×224 doubles ≈ 392 KB matrix
+	)
+	m := mem.New()
+	rng := rand.New(rand.NewSource(61))
+	fillRand(m, matrix, n*n*8, rng)
+	fillRand(m, vecX, n*8, rng)
+
+	b := isa.NewBuilder()
+	outerLoop(b, 1_000_000, func() {
+		// y = A·x, row-major: the row streams, x is reused (L1 resident).
+		b.Movi(r(base0), matrix)
+		b.Movi(r(base2), vecY)
+		b.Movi(r(cnt1), n)
+		row := b.Here()
+		b.Movi(r(base1), vecX)
+		b.Movi(r(cnt2), n)
+		b.Movi(r(acc), 0)
+		inner := b.Here()
+		b.Ld(r(tmpA), r(base0), 0)
+		b.Ld(r(tmpB), r(base1), 0)
+		b.Mul(r(tmpA), r(tmpA), r(tmpB))
+		b.Add(r(acc), r(acc), r(tmpA))
+		b.Addi(r(base0), r(base0), 8)
+		b.Addi(r(base1), r(base1), 8)
+		b.Addi(r(cnt2), r(cnt2), -1)
+		b.Bnez(r(cnt2), inner)
+		b.St(r(acc), r(base2), 0)
+		b.Addi(r(base2), r(base2), 8)
+		b.Addi(r(cnt1), r(cnt1), -1)
+		b.Bnez(r(cnt1), row)
+	})
+	return b.MustProgram(), m
+}
+
+func buildGamess() (*isa.Program, *mem.Memory) {
+	const (
+		coeffs = 0x1000_0000
+		words  = 2 * 1024 // 16 KB: lives in L1
+	)
+	m := mem.New()
+	rng := rand.New(rand.NewSource(67))
+	fillRand(m, coeffs, words*8, rng)
+
+	b := isa.NewBuilder()
+	b.Movi(r(base0), coeffs)
+	b.Movi(r(acc), 0)
+	b.Movi(r(tmpG), 3) // "x"
+	outerLoop(b, 10_000_000, func() {
+		// Evaluate an 8-term Horner chain from an L1-resident coefficient
+		// row, then rotate to the next row. Almost pure compute.
+		b.Slli(r(tmpF), r(cnt0), 6)           // next row each iteration
+		b.Andi(r(tmpF), r(tmpF), (words-8)*8) // row selector, table-bounded
+		b.Add(r(addr), r(base0), r(tmpF))
+		b.Ld(r(tmpA), r(addr), 0)
+		for i := 1; i < 8; i++ {
+			b.Mul(r(tmpA), r(tmpA), r(tmpG))
+			b.Ld(r(tmpB), r(addr), int64(8*i))
+			b.Add(r(tmpA), r(tmpA), r(tmpB))
+		}
+		b.Add(r(acc), r(acc), r(tmpA))
+	})
+	return b.MustProgram(), m
+}
+
+func buildH264() (*isa.Program, *mem.Memory) {
+	const (
+		frameA = 0x1000_0000
+		frameB = 0x2000_0000
+		rowW   = 256 // words per frame row (2 KB)
+		rows   = 256 // 512 KB per frame
+		blocks = (rowW / 2) * (rows / 8)
+	)
+	m := mem.New()
+	rng := rand.New(rand.NewSource(71))
+	fillRand(m, frameA, rowW*rows*8, rng)
+
+	b := isa.NewBuilder()
+	b.Movi(r(base0), frameA)
+	b.Movi(r(base1), frameB)
+	outerLoop(b, 1_000_000, func() {
+		// Motion-compensation flavour: copy 8-row × 2-word blocks from
+		// frame A to frame B at a shifted position; short inner loops make
+		// this branch-dense.
+		b.Movi(r(cnt1), blocks)
+		b.Movi(r(idx), 0)
+		blockTop := b.Here()
+		b.Movi(r(cnt2), 8) // rows in the block
+		// The source position is displaced by a data-dependent "motion
+		// vector" read from the frame itself, so block starts do not form
+		// a clean per-PC stride (as with real motion compensation).
+		b.Add(r(addr), r(base0), r(idx))
+		b.Ld(r(tmpC), r(addr), 0)
+		b.Andi(r(tmpC), r(tmpC), 0x3F8) // mv in [0,2KB), word-aligned
+		b.Add(r(addr), r(addr), r(tmpC))
+		b.Add(r(tmpG), r(base1), r(idx))
+		rowTop := b.Here()
+		b.Ld(r(tmpA), r(addr), 0)
+		b.Ld(r(tmpB), r(addr), 8)
+		b.St(r(tmpA), r(tmpG), 64) // shifted by one block
+		b.St(r(tmpB), r(tmpG), 72)
+		b.Addi(r(addr), r(addr), rowW*8)
+		b.Addi(r(tmpG), r(tmpG), rowW*8)
+		b.Addi(r(cnt2), r(cnt2), -1)
+		b.Bnez(r(cnt2), rowTop)
+		b.Addi(r(idx), r(idx), 16)
+		b.Addi(r(cnt1), r(cnt1), -1)
+		b.Bnez(r(cnt1), blockTop)
+	})
+	return b.MustProgram(), m
+}
+
+func buildHmmer() (*isa.Program, *mem.Memory) {
+	const (
+		rowM    = 0x1000_0000
+		rowI    = 0x2000_0000
+		scores  = 0x3000_0000
+		rowLen  = 32 * 1024  // 256 KB per DP row
+		scWords = 256 * 1024 // 2 MB score table
+	)
+	m := mem.New()
+	rng := rand.New(rand.NewSource(73))
+	fillRand(m, rowM, rowLen*8, rng)
+	fillRand(m, rowI, rowLen*8, rng)
+	fillRand(m, scores, scWords*8, rng)
+
+	b := isa.NewBuilder()
+	b.Movi(r(base2), scores)
+	outerLoop(b, 1_000_000, func() {
+		// One DP row pass: stream match/insert rows, gather an emission
+		// score keyed by the match value, take maxes (data branches).
+		b.Movi(r(base0), rowM+8)
+		b.Movi(r(base1), rowI+8)
+		b.Movi(r(cnt1), rowLen-1)
+		top := b.Here()
+		useI := b.NewLabel()
+		b.Ld(r(tmpA), r(base0), -8)             // M[i-1]
+		b.Ld(r(tmpB), r(base1), -8)             // I[i-1]
+		b.Andi(r(tmpC), r(tmpA), (scWords-1)*8) // word-aligned table index
+		b.Add(r(addr), r(base2), r(tmpC))
+		b.Ld(r(tmpD), r(addr), 0) // emission score (gathered)
+		b.Sub(r(tmpE), r(tmpA), r(tmpB))
+		b.Bltz(r(tmpE), useI)
+		b.Add(r(tmpF), r(tmpA), r(tmpD))
+		b.Jmp(b.NamedLabel("store"))
+		b.Bind(useI)
+		b.Add(r(tmpF), r(tmpB), r(tmpD))
+		b.Bind(b.NamedLabel("store"))
+		b.St(r(tmpF), r(base0), 0) // M[i]
+		b.Addi(r(base0), r(base0), 8)
+		b.Addi(r(base1), r(base1), 8)
+		b.Addi(r(cnt1), r(cnt1), -1)
+		b.Bnez(r(cnt1), top)
+	})
+	return b.MustProgram(), m
+}
+
+func buildSjeng() (*isa.Program, *mem.Memory) {
+	const (
+		board = 0x1000_0000
+		words = 4 * 1024 // 32 KB: cache resident
+	)
+	m := mem.New()
+	rng := rand.New(rand.NewSource(79))
+	fillRand(m, board, words*8, rng)
+
+	b := isa.NewBuilder()
+	b.Movi(r(base0), board)
+	b.Movi(r(tmpG), 88172645463325252) // xorshift state
+	b.Movi(r(acc), 0)
+	outerLoop(b, 10_000_000, func() {
+		// One "evaluation": xorshift the state, probe the board table at
+		// the resulting square, branch three ways on what it holds. The
+		// branches carry real entropy, so lookahead confidence stays low —
+		// exactly the control behaviour that throttles B-Fetch.
+		capture := b.NewLabel()
+		quiet := b.NewLabel()
+		done := b.NewLabel()
+		b.Slli(r(tmpA), r(tmpG), 13)
+		b.Xor(r(tmpG), r(tmpG), r(tmpA))
+		b.Srli(r(tmpA), r(tmpG), 7)
+		b.Xor(r(tmpG), r(tmpG), r(tmpA))
+		b.Slli(r(tmpA), r(tmpG), 17)
+		b.Xor(r(tmpG), r(tmpG), r(tmpA))
+		b.Andi(r(tmpB), r(tmpG), (words-1)*8)
+		b.Add(r(addr), r(base0), r(tmpB))
+		b.Ld(r(tmpC), r(addr), 0)
+		b.Andi(r(tmpD), r(tmpC), 3)
+		b.Beqz(r(tmpD), quiet)
+		b.Cmpeqi(r(tmpE), r(tmpD), 2)
+		b.Bnez(r(tmpE), capture)
+		b.Addi(r(acc), r(acc), 1) // ordinary move
+		b.Jmp(done)
+		b.Bind(capture)
+		b.Addi(r(acc), r(acc), 5)
+		b.St(r(acc), r(addr), 0)
+		b.Jmp(done)
+		b.Bind(quiet)
+		b.Addi(r(acc), r(acc), -1)
+		b.Bind(done)
+	})
+	return b.MustProgram(), m
+}

@@ -1,0 +1,292 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Streaming and stencil kernels: the regular-access side of the suite.
+// These are where Stride and SMS do well and where B-Fetch's loop term
+// (LoopCnt×LoopDelta) has to keep up.
+//
+// Code-generation idiom: like compiled ALPHA code, each array gets its own
+// pointer register advanced with addi, and loads address directly off that
+// pointer (disp(base)). This matters to the study — B-Fetch's Memory History
+// Table learns the displacement between a base register's value at the
+// preceding branch and the load's effective address, which is exactly the
+// pattern register allocators produce. A single recomputed address temp
+// would hide the bases from every prefetcher's trainer and from real
+// hardware alike.
+
+const megabyte = 1 << 20
+
+func init() {
+	register(Workload{
+		Name:            "bwaves",
+		Description:     "blast-wave solver stand-in: three-array unit-stride sweep with a 2-point neighbourhood",
+		Character:       "streaming",
+		MemoryIntensive: true,
+		build:           buildBwaves,
+	})
+	register(Workload{
+		Name:            "lbm",
+		Description:     "lattice-Boltzmann stand-in: ping-pong grids, 5-point neighbourhood reads, streaming writes",
+		Character:       "stencil",
+		MemoryIntensive: true,
+		build:           buildLBM,
+	})
+	register(Workload{
+		Name:            "leslie3d",
+		Description:     "LES flow stand-in: three-field stencil with unit and plane strides",
+		Character:       "stencil",
+		MemoryIntensive: true,
+		build:           buildLeslie,
+	})
+	register(Workload{
+		Name:            "libquantum",
+		Description:     "quantum gate stand-in: one huge array, unit-stride sweep, highly predictable conditional update",
+		Character:       "streaming",
+		MemoryIntensive: true,
+		build:           buildLibquantum,
+	})
+	register(Workload{
+		Name:            "zeusmp",
+		Description:     "astrophysics CFD stand-in: block-strided three-field sweep",
+		Character:       "strided",
+		MemoryIntensive: true,
+		build:           buildZeusmp,
+	})
+	register(Workload{
+		Name:            "cactusADM",
+		Description:     "numerical relativity stand-in: 3D stencil with word, row and plane strides",
+		Character:       "stencil",
+		MemoryIntensive: true,
+		build:           buildCactus,
+	})
+}
+
+func buildBwaves() (*isa.Program, *mem.Memory) {
+	const (
+		arrA  = 0x1000_0000
+		arrB  = 0x2000_0000
+		arrC  = 0x3000_0000
+		words = 256 * 1024 // 2 MB per array, 6 MB total
+	)
+	m := mem.New()
+	rng := rand.New(rand.NewSource(11))
+	fillRand(m, arrA, words*8, rng)
+	fillRand(m, arrB, words*8, rng)
+
+	b := isa.NewBuilder()
+	outerLoop(b, 1_000_000, func() {
+		// One full sweep: C[i] = 3*A[i] + B[i-1] + B[i+1], with per-array
+		// pointers pA/pB/pC.
+		b.Movi(r(base0), arrA+8)
+		b.Movi(r(base1), arrB+8)
+		b.Movi(r(base2), arrC+8)
+		b.Movi(r(cnt1), words-2)
+		top := b.Here()
+		b.Ld(r(tmpA), r(base0), 0)
+		b.Ld(r(tmpB), r(base1), -8)
+		b.Ld(r(tmpC), r(base1), 8)
+		b.Muli(r(tmpA), r(tmpA), 3)
+		b.Add(r(tmpA), r(tmpA), r(tmpB))
+		b.Add(r(tmpA), r(tmpA), r(tmpC))
+		b.St(r(tmpA), r(base2), 0)
+		b.Addi(r(base0), r(base0), 8)
+		b.Addi(r(base1), r(base1), 8)
+		b.Addi(r(base2), r(base2), 8)
+		b.Addi(r(cnt1), r(cnt1), -1)
+		b.Bnez(r(cnt1), top)
+	})
+	return b.MustProgram(), m
+}
+
+func buildLBM() (*isa.Program, *mem.Memory) {
+	const (
+		src  = 0x1000_0000
+		dst  = 0x2000_0000
+		row  = 512  // words per row
+		rows = 1024 // 4 MB per grid
+	)
+	m := mem.New()
+	rng := rand.New(rand.NewSource(13))
+	fillRand(m, src, row*rows*8, rng)
+
+	b := isa.NewBuilder()
+	outerLoop(b, 1_000_000, func() {
+		// Sweep interior cells: dst[i] = (src[i] + W + E + N + S) >> 2.
+		b.Movi(r(base0), src+row*8)
+		b.Movi(r(base1), dst+row*8)
+		b.Movi(r(cnt1), row*(rows-2))
+		top := b.Here()
+		b.Ld(r(tmpA), r(base0), 0)
+		b.Ld(r(tmpB), r(base0), -8)
+		b.Ld(r(tmpC), r(base0), 8)
+		b.Ld(r(tmpD), r(base0), -row*8)
+		b.Ld(r(tmpE), r(base0), row*8)
+		b.Add(r(tmpA), r(tmpA), r(tmpB))
+		b.Add(r(tmpC), r(tmpC), r(tmpD))
+		b.Add(r(tmpA), r(tmpA), r(tmpC))
+		b.Add(r(tmpA), r(tmpA), r(tmpE))
+		b.Srai(r(tmpA), r(tmpA), 2)
+		b.St(r(tmpA), r(base1), 0)
+		b.Addi(r(base0), r(base0), 8)
+		b.Addi(r(base1), r(base1), 8)
+		b.Addi(r(cnt1), r(cnt1), -1)
+		b.Bnez(r(cnt1), top)
+	})
+	return b.MustProgram(), m
+}
+
+func buildLeslie() (*isa.Program, *mem.Memory) {
+	const (
+		f0    = 0x1000_0000
+		f1    = 0x2000_0000
+		f2    = 0x3000_0000
+		plane = 2048 // words per plane (16 KB; keeps ±plane displacements
+		// within the ISA's —and B-Fetch's— 16-bit signed fields)
+		words = 256 * 1024
+	)
+	m := mem.New()
+	rng := rand.New(rand.NewSource(17))
+	fillRand(m, f0, words*8, rng)
+	fillRand(m, f1, words*8, rng)
+
+	b := isa.NewBuilder()
+	outerLoop(b, 1_000_000, func() {
+		b.Movi(r(base0), f0+plane*8)
+		b.Movi(r(base1), f1+plane*8)
+		b.Movi(r(base2), f2+plane*8)
+		b.Movi(r(cnt1), words-2*plane)
+		top := b.Here()
+		b.Ld(r(tmpA), r(base0), 0)
+		b.Ld(r(tmpB), r(base0), 8)
+		b.Ld(r(tmpC), r(base0), plane*8) // next plane
+		b.Ld(r(tmpD), r(base1), 0)
+		b.Ld(r(tmpE), r(base1), -plane*8) // previous plane
+		b.Add(r(tmpA), r(tmpA), r(tmpB))
+		b.Add(r(tmpC), r(tmpC), r(tmpD))
+		b.Add(r(tmpA), r(tmpA), r(tmpC))
+		b.Sub(r(tmpA), r(tmpA), r(tmpE))
+		b.St(r(tmpA), r(base2), 0)
+		b.Addi(r(base0), r(base0), 8)
+		b.Addi(r(base1), r(base1), 8)
+		b.Addi(r(base2), r(base2), 8)
+		b.Addi(r(cnt1), r(cnt1), -1)
+		b.Bnez(r(cnt1), top)
+	})
+	return b.MustProgram(), m
+}
+
+func buildLibquantum() (*isa.Program, *mem.Memory) {
+	const (
+		reg   = 0x1000_0000
+		words = 1024 * 1024 // 8 MB
+	)
+	m := mem.New()
+	rng := rand.New(rand.NewSource(19))
+	fillRand(m, reg, words*8, rng)
+
+	b := isa.NewBuilder()
+	b.Movi(r(tmpG), 0x40) // "control bit" mask applied to the amplitude word
+	outerLoop(b, 1_000_000, func() {
+		// Toffoli-ish sweep: flip a bit in every word whose element index
+		// has bit 6 set — a perfectly periodic branch, so control stays
+		// predictable while memory streams.
+		b.Movi(r(base0), reg)
+		b.Movi(r(idx), 0)
+		b.Movi(r(lim), words)
+		top := b.Here()
+		skip := b.NewLabel()
+		b.Ld(r(tmpA), r(base0), 0)
+		b.Andi(r(tmpB), r(idx), 1<<6)
+		b.Beqz(r(tmpB), skip)
+		b.Xor(r(tmpA), r(tmpA), r(tmpG))
+		b.St(r(tmpA), r(base0), 0)
+		b.Bind(skip)
+		b.Addi(r(base0), r(base0), 8)
+		b.Addi(r(idx), r(idx), 1)
+		b.Cmplt(r(tmpC), r(idx), r(lim))
+		b.Bnez(r(tmpC), top)
+	})
+	return b.MustProgram(), m
+}
+
+func buildZeusmp() (*isa.Program, *mem.Memory) {
+	const (
+		f0    = 0x1000_0000
+		f1    = 0x2000_0000
+		f2    = 0x3000_0000
+		words = 256 * 1024
+		step  = 8 * 8 // one cache block per iteration
+	)
+	m := mem.New()
+	rng := rand.New(rand.NewSource(23))
+	fillRand(m, f0, words*8, rng)
+	fillRand(m, f1, words*8, rng)
+
+	b := isa.NewBuilder()
+	outerLoop(b, 1_000_000, func() {
+		// Block-strided field update: one 64-byte block per iteration,
+		// touching two words in it plus the matching block of field 1.
+		b.Movi(r(base0), f0)
+		b.Movi(r(base1), f1)
+		b.Movi(r(base2), f2)
+		b.Movi(r(cnt1), words*8/step)
+		top := b.Here()
+		b.Ld(r(tmpA), r(base0), 0)
+		b.Ld(r(tmpB), r(base0), 32)
+		b.Ld(r(tmpC), r(base1), 0)
+		b.Add(r(tmpA), r(tmpA), r(tmpB))
+		b.Mul(r(tmpA), r(tmpA), r(tmpC))
+		b.St(r(tmpA), r(base2), 0)
+		b.Addi(r(base0), r(base0), step)
+		b.Addi(r(base1), r(base1), step)
+		b.Addi(r(base2), r(base2), step)
+		b.Addi(r(cnt1), r(cnt1), -1)
+		b.Bnez(r(cnt1), top)
+	})
+	return b.MustProgram(), m
+}
+
+func buildCactus() (*isa.Program, *mem.Memory) {
+	const (
+		gridA = 0x1000_0000
+		gridB = 0x2000_0000
+		rowW  = 128  // words per row
+		plane = 2048 // words per plane (16 KB; displacement-encodable)
+		words = 384 * 1024
+	)
+	m := mem.New()
+	rng := rand.New(rand.NewSource(29))
+	fillRand(m, gridA, words*8, rng)
+
+	b := isa.NewBuilder()
+	outerLoop(b, 1_000_000, func() {
+		// 3D 7-point stencil written as a flat sweep over interior points.
+		b.Movi(r(base0), gridA+plane*8)
+		b.Movi(r(base1), gridB+plane*8)
+		b.Movi(r(cnt1), words-2*plane)
+		top := b.Here()
+		b.Ld(r(tmpA), r(base0), 0)
+		b.Ld(r(tmpB), r(base0), -8)
+		b.Ld(r(tmpC), r(base0), 8)
+		b.Ld(r(tmpD), r(base0), -rowW*8)
+		b.Ld(r(tmpE), r(base0), rowW*8)
+		b.Ld(r(tmpF), r(base0), plane*8)
+		b.Add(r(tmpA), r(tmpA), r(tmpB))
+		b.Add(r(tmpC), r(tmpC), r(tmpD))
+		b.Add(r(tmpE), r(tmpE), r(tmpF))
+		b.Add(r(tmpA), r(tmpA), r(tmpC))
+		b.Add(r(tmpA), r(tmpA), r(tmpE))
+		b.St(r(tmpA), r(base1), 0)
+		b.Addi(r(base0), r(base0), 8)
+		b.Addi(r(base1), r(base1), 8)
+		b.Addi(r(cnt1), r(cnt1), -1)
+		b.Bnez(r(cnt1), top)
+	})
+	return b.MustProgram(), m
+}
