@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/harness"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -192,4 +193,36 @@ func BenchmarkFig15StorageSensitivity(b *testing.B) {
 func BenchmarkAblations(b *testing.B) {
 	runExperiment(b, "ablation", "Geomean",
 		[]string{"full_x", "nofilter_x", "noloop_x", "nopatterns_x", "commitARF_x"})
+}
+
+// ------------------------------------------------------- engine speedup --
+//
+// The serial/parallel pair tracks the experiment engine's scaling in the
+// perf trajectory: same fig8 workload grid, one goroutine vs GOMAXPROCS.
+// Each iteration gets a fresh engine and baseline store so the run-cache
+// cannot turn later iterations into lookups — the pair measures execution,
+// not memoization.
+
+func benchEngine(b *testing.B, mkEngine func() *runner.Engine) {
+	b.Helper()
+	e, err := harness.ByID("fig8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		p := benchParams()
+		p.Runner = mkEngine()
+		p.Baselines = harness.NewBaselineStore()
+		if _, err := e.Run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunnerSerial(b *testing.B) {
+	benchEngine(b, runner.NewSequential)
+}
+
+func BenchmarkRunnerParallel(b *testing.B) {
+	benchEngine(b, func() *runner.Engine { return runner.New(0) })
 }

@@ -6,9 +6,15 @@
 //	bfetch-bench -exp fig8
 //	bfetch-bench -exp all -out results/
 //	bfetch-bench -exp fig9 -warmup 100000 -measure 300000 -mixes 29
+//	bfetch-bench -exp all -j 8            # 8 simulations in flight
+//	bfetch-bench -exp fig8 -seq           # sequential escape hatch
+//	bfetch-bench -exp all -cpuprofile cpu.pprof
 //
 // Each experiment prints its table(s) to stdout; with -out set, CSVs are
-// written alongside.
+// written alongside. Simulation points fan out over -j workers (default
+// GOMAXPROCS) and repeated points — e.g. the no-prefetch baseline shared by
+// every speedup figure — are simulated once per invocation; the cache
+// hit/miss counts are reported per experiment on stderr.
 package main
 
 import (
@@ -16,23 +22,37 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bfetch-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		expID     = flag.String("exp", "", "experiment id (fig1, fig3, fig7..fig15, tab1, tab2, ablation, or 'all')")
-		list      = flag.Bool("list", false, "list experiments and exit")
-		outDir    = flag.String("out", "", "directory for CSV output (optional)")
-		warmup    = flag.Uint64("warmup", 100_000, "warmup instructions per core")
-		measure   = flag.Uint64("measure", 300_000, "measured instructions per core")
-		mixes     = flag.Int("mixes", 29, "number of multiprogrammed mixes")
-		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all 18)")
-		quiet     = flag.Bool("q", false, "suppress progress logging")
+		expID      = flag.String("exp", "", "experiment id (fig1, fig3, fig7..fig15, tab1, tab2, ablation, or 'all')")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		outDir     = flag.String("out", "", "directory for CSV output (optional)")
+		warmup     = flag.Uint64("warmup", 100_000, "warmup instructions per core")
+		measure    = flag.Uint64("measure", 300_000, "measured instructions per core")
+		mixes      = flag.Int("mixes", 29, "number of multiprogrammed mixes")
+		workloads  = flag.String("workloads", "", "comma-separated workload subset (default: all 18)")
+		quiet      = flag.Bool("q", false, "suppress progress logging")
+		jobs       = flag.Int("j", 0, "simulations in flight (0 = GOMAXPROCS)")
+		seq        = flag.Bool("seq", false, "run simulations sequentially on one goroutine (escape hatch)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -42,12 +62,30 @@ func main() {
 			fmt.Printf("  %-9s %s\n", e.ID, e.Title)
 			fmt.Printf("  %-9s paper: %s\n", "", e.Paper)
 		}
-		return
+		return nil
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	eng := runner.New(*jobs)
+	if *seq {
+		eng = runner.NewSequential()
 	}
 
 	params := harness.DefaultParams()
 	params.Opts = sim.RunOpts{WarmupInsts: *warmup, MeasureInsts: *measure}
 	params.Mixes = *mixes
+	params.Runner = eng
 	if *workloads != "" {
 		params.Workloads = strings.Split(*workloads, ",")
 	}
@@ -62,25 +100,30 @@ func main() {
 		for _, id := range strings.Split(*expID, ",") {
 			e, err := harness.ByID(strings.TrimSpace(id))
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			todo = append(todo, e)
 		}
 	}
 
+	var prev runner.Stats
 	for _, e := range todo {
 		start := time.Now()
-		fmt.Fprintf(os.Stderr, "running %s: %s\n", e.ID, e.Title)
+		fmt.Fprintf(os.Stderr, "running %s: %s (%d workers)\n", e.ID, e.Title, eng.Workers())
 		tables, err := e.Run(params)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
+			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		fmt.Fprintf(os.Stderr, "%s finished in %s\n", e.ID, time.Since(start).Round(time.Millisecond))
+		st := eng.Stats()
+		fmt.Fprintf(os.Stderr, "%s finished in %s (%d sims run, cache: %d hits, %d misses)\n",
+			e.ID, time.Since(start).Round(time.Millisecond),
+			st.Runs-prev.Runs, st.Hits-prev.Hits, st.Misses-prev.Misses)
+		prev = st
 		for i, t := range tables {
 			fmt.Println(t)
 			if *outDir != "" {
 				if err := os.MkdirAll(*outDir, 0o755); err != nil {
-					fatal(err)
+					return err
 				}
 				name := e.ID
 				if len(tables) > 1 {
@@ -88,15 +131,27 @@ func main() {
 				}
 				path := filepath.Join(*outDir, name+".csv")
 				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
-					fatal(err)
+					return err
 				}
 				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 			}
 		}
 	}
-}
+	if st := eng.Stats(); st.Hits > 0 || len(todo) > 1 {
+		fmt.Fprintf(os.Stderr, "total: %d sims run, cache: %d hits, %d misses\n",
+			st.Runs, st.Hits, st.Misses)
+	}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "bfetch-bench:", err)
-	os.Exit(1)
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }

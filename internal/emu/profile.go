@@ -68,6 +68,22 @@ func (h *histogram) CDF() [DeltaBuckets]float64 {
 	return out
 }
 
+// Merge folds another profile's histograms into p, so profiles collected
+// independently (one per workload, possibly concurrently) aggregate into
+// the suite-wide distribution. Histogram addition commutes, so the merged
+// totals are independent of merge order. Only the accumulated counts merge;
+// the per-run snapshot state (snapshot ring, load history) is not carried
+// over — which is also why per-workload profiles are preferable to
+// attaching one profile across programs whose static load indexes collide.
+func (p *DeltaProfile) Merge(o *DeltaProfile) {
+	for d := 0; d < len3; d++ {
+		for b := 0; b < DeltaBuckets; b++ {
+			p.Reg[d][b] += o.Reg[d][b]
+			p.EA[d][b] += o.EA[d][b]
+		}
+	}
+}
+
 // RegCDF and EACDF return the Figure 3a / 3b cumulative distributions for
 // the depth index d (0 → 1 BB, 1 → 3 BB, 2 → 12 BB).
 func (p *DeltaProfile) RegCDF(d int) [DeltaBuckets]float64 { return p.Reg[d].CDF() }

@@ -46,18 +46,32 @@ func init() {
 const charInsts = 150_000
 
 func runFig3(p Params) ([]*stats.Table, error) {
-	prof := emu.NewDeltaProfile()
-	for _, name := range p.workloads() {
-		w, err := workload.ByName(name)
+	// One profile per workload, collected across the pool, merged in
+	// workload order. Besides the parallelism, per-workload profiles keep
+	// each program's snapshot ring and static-load history to itself (a
+	// single profile threaded through all 18 programs mixes state across
+	// the boundaries, since static load indexes collide between programs).
+	ws := p.workloads()
+	profs := make([]*emu.DeltaProfile, len(ws))
+	if err := p.engine().Map(len(ws), func(i int) error {
+		w, err := workload.ByName(ws[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prog, image := w.Build()
 		cpu := emu.New(prog, image)
-		prof.Attach(cpu)
+		profs[i] = emu.NewDeltaProfile()
+		profs[i].Attach(cpu)
 		if _, err := cpu.Run(charInsts); err != nil {
-			return nil, fmt.Errorf("fig3 profile of %s: %w", name, err)
+			return fmt.Errorf("fig3 profile of %s: %w", ws[i], err)
 		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	prof := emu.NewDeltaProfile()
+	for i, name := range ws {
+		prof.Merge(profs[i])
 		p.logf("  %-12s profiled", name)
 	}
 
@@ -85,27 +99,35 @@ func runFig3(p Params) ([]*stats.Table, error) {
 func runFig7(p Params) ([]*stats.Table, error) {
 	t := stats.NewTable("Figure 7: branches per branch-carrying fetch cycle",
 		"benchmark", "1_branch", "2_branches", "3_branches", "4_branches")
-	var agg []float64
-	aggN := 0
-	for _, name := range p.workloads() {
-		w, err := workload.ByName(name)
+	ws := p.workloads()
+	breakdowns := make([][]float64, len(ws))
+	if err := p.engine().Map(len(ws), func(i int) error {
+		w, err := workload.ByName(ws[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prog, image := w.Build()
 		cpu := emu.New(prog, image)
 		prof := emu.NewFetchGroupProfile(4)
 		prof.Attach(cpu)
 		if _, err := cpu.Run(charInsts); err != nil {
-			return nil, fmt.Errorf("fig7 profile of %s: %w", name, err)
+			return fmt.Errorf("fig7 profile of %s: %w", ws[i], err)
 		}
-		bd := prof.BranchBreakdown()
+		breakdowns[i] = prof.BranchBreakdown()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var agg []float64
+	aggN := 0
+	for i, name := range ws {
+		bd := breakdowns[i]
 		t.AddRow(name, bd[0], bd[1], bd[2], bd[3])
 		if agg == nil {
 			agg = make([]float64, len(bd))
 		}
-		for i, v := range bd {
-			agg[i] += v
+		for j, v := range bd {
+			agg[j] += v
 		}
 		aggN++
 	}

@@ -3,7 +3,9 @@ package harness
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/isb"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/stems"
@@ -115,18 +117,32 @@ func runWithISB(p Params, app string) (int, error) {
 func runExtBandwidth(p Params) ([]*stats.Table, error) {
 	t := stats.NewTable("Extension: DRAM bandwidth sensitivity (geomean speedup over same-bandwidth baseline)",
 		"cycles_per_64B", "GBps_at_3.2GHz", "SMS", "Bfetch")
-	for _, cpf := range []uint64{32, 16, 8} {
-		var smsSp, bfSp []float64
-		for _, name := range p.workloads() {
-			ipc := map[sim.PrefetcherKind]float64{}
-			for _, kind := range []sim.PrefetcherKind{sim.PFNone, sim.PFSMS, sim.PFBFetch} {
+	cpfs := []uint64{32, 16, 8}
+	kinds := []sim.PrefetcherKind{sim.PFNone, sim.PFSMS, sim.PFBFetch}
+	ws := p.workloads()
+	var jobs []runner.Job
+	for _, cpf := range cpfs {
+		for _, name := range ws {
+			for _, kind := range kinds {
 				cfg := sim.Default(kind)
 				cfg.DRAMCyclesPerFill = cpf
-				res, err := sim.RunSolo(cfg, name, p.Opts)
-				if err != nil {
-					return nil, err
+				jobs = append(jobs, runner.Solo(cfg, name, p.Opts))
+			}
+		}
+	}
+	outs := p.engine().RunAll(jobs)
+	k := 0
+	for _, cpf := range cpfs {
+		var smsSp, bfSp []float64
+		for _, name := range ws {
+			ipc := map[sim.PrefetcherKind]float64{}
+			for _, kind := range kinds {
+				o := outs[k]
+				k++
+				if o.Err != nil {
+					return nil, fmt.Errorf("%s on %s at %d cycles/fill: %w", kind, name, cpf, o.Err)
 				}
-				ipc[kind] = res.IPC[0]
+				ipc[kind] = o.Result.IPC[0]
 			}
 			smsSp = append(smsSp, ipc[sim.PFSMS]/ipc[sim.PFNone])
 			bfSp = append(bfSp, ipc[sim.PFBFetch]/ipc[sim.PFNone])
@@ -141,30 +157,51 @@ func runExtBandwidth(p Params) ([]*stats.Table, error) {
 func runExtDepth(p Params) ([]*stats.Table, error) {
 	t := stats.NewTable("Extension: B-Fetch lookahead behaviour vs confidence threshold",
 		"threshold", "avg_depth_BB", "stops_conf", "stops_brtc", "geomean_speedup")
-	base := sim.Default(sim.PFNone)
-	for _, th := range []float64{0.45, 0.60, 0.75, 0.90, 0.97} {
+	thresholds := []float64{0.45, 0.60, 0.75, 0.90, 0.97}
+	ws := p.workloads()
+	base, err := p.baselineResults(sim.Default(sim.PFNone), ws)
+	if err != nil {
+		return nil, err
+	}
+
+	// Timed runs go through the engine as one batch; the instrumented runs
+	// (engine counters are not carried through sim.Run's Result) fan out
+	// over the same pool via Map, one slot per (threshold, workload) point.
+	configs := make([]sim.Config, len(thresholds))
+	var jobs []runner.Job
+	for ti, th := range thresholds {
 		cfg := sim.Default(sim.PFBFetch)
 		cfg.BFetch.PathThreshold = th
+		configs[ti] = cfg
+		for _, name := range ws {
+			jobs = append(jobs, runner.Solo(cfg, name, p.Opts))
+		}
+	}
+	outs := p.engine().RunAll(jobs)
+	insts := make([]core.Stats, len(jobs))
+	if err := p.engine().Map(len(jobs), func(i int) error {
+		st, err := bfetchStats(configs[i/len(ws)], ws[i%len(ws)], p.Opts)
+		if err != nil {
+			return fmt.Errorf("instrumented run on %s: %w", ws[i%len(ws)], err)
+		}
+		insts[i] = st
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	for ti, th := range thresholds {
 		var (
 			steps, starts, stopsConf, stopsBrtc uint64
 			speedup                             []float64
 		)
-		for _, name := range p.workloads() {
-			rb, err := sim.RunSolo(base, name, p.Opts)
-			if err != nil {
-				return nil, err
+		for wi, name := range ws {
+			o := outs[ti*len(ws)+wi]
+			if o.Err != nil {
+				return nil, fmt.Errorf("threshold %.2f on %s: %w", th, name, o.Err)
 			}
-			rf, err := sim.RunSolo(cfg, name, p.Opts)
-			if err != nil {
-				return nil, err
-			}
-			speedup = append(speedup, rf.IPC[0]/rb.IPC[0])
-			// Engine stats are not carried through sim.Run's Result; the
-			// depth numbers come from a dedicated instrumented run.
-			st, err := bfetchStats(cfg, name, p.Opts)
-			if err != nil {
-				return nil, err
-			}
+			speedup = append(speedup, o.Result.IPC[0]/base[wi].IPC[0])
+			st := insts[ti*len(ws)+wi]
 			steps += st.LookaheadSteps
 			starts += st.LookaheadStarts
 			stopsConf += st.LookaheadStops

@@ -2,8 +2,10 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -67,30 +69,44 @@ func runMixes(p Params, n int, figure string) ([]*stats.Table, error) {
 	// Weighted-speedup denominators: each application alone on the
 	// *baseline* (no-prefetch) system, common to every prefetcher — the
 	// paper's normalization puts the baseline system at 1.0 and reports
-	// each prefetcher's multiprogrammed gain over it (§V-A, §V-B2).
-	solo := map[string]float64{}
+	// each prefetcher's multiprogrammed gain over it (§V-A, §V-B2). These
+	// are the same solo points every speedup figure divides by, so they
+	// come from the shared baseline store.
+	apps := make([]string, 0, len(foa))
 	for name := range foa {
-		res, err := sim.RunSolo(sim.Default(sim.PFNone), name, p.Opts)
-		if err != nil {
-			return nil, fmt.Errorf("solo baseline/%s: %w", name, err)
-		}
-		solo[name] = res.IPC[0]
+		apps = append(apps, name)
+	}
+	sort.Strings(apps)
+	soloRes, err := p.baselineResults(sim.Default(sim.PFNone), apps)
+	if err != nil {
+		return nil, fmt.Errorf("solo baseline: %w", err)
+	}
+	solo := map[string]float64{}
+	for i, name := range apps {
+		solo[name] = soloRes[i].IPC[0]
 	}
 	p.logf("  baseline solo IPCs done")
 
-	// Weighted speedup per mix per kind.
-	ws := map[sim.PrefetcherKind][]float64{}
+	// Weighted speedup per mix per kind, as one batch over the whole grid.
+	var jobs []runner.Job
 	for _, kind := range kinds {
 		for _, mix := range mixes {
-			res, err := sim.Run(sim.Default(kind), mix.Apps, p.Opts)
-			if err != nil {
-				return nil, fmt.Errorf("%s on %s (%v): %w", kind, mix.Name, mix.Apps, err)
+			jobs = append(jobs, runner.Multi(sim.Default(kind), mix.Apps, p.Opts))
+		}
+	}
+	outs := p.engine().RunAll(jobs)
+	ws := map[sim.PrefetcherKind][]float64{}
+	for ki, kind := range kinds {
+		for mi, mix := range mixes {
+			o := outs[ki*len(mixes)+mi]
+			if o.Err != nil {
+				return nil, fmt.Errorf("%s on %s (%v): %w", kind, mix.Name, mix.Apps, o.Err)
 			}
 			den := make([]float64, len(mix.Apps))
 			for i, app := range mix.Apps {
 				den[i] = solo[app]
 			}
-			ws[kind] = append(ws[kind], stats.WeightedSpeedup(res.IPC, den))
+			ws[kind] = append(ws[kind], stats.WeightedSpeedup(o.Result.IPC, den))
 		}
 		p.logf("  %s mixes for %s done", figure, kind)
 	}

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -104,16 +105,25 @@ func runFig8(p Params) ([]*stats.Table, error) {
 func runFig11(p Params) ([]*stats.Table, error) {
 	t := stats.NewTable("Figure 11: useful and useless prefetches issued",
 		"benchmark", "SMS_useful", "SMS_useless", "Bfetch_useful", "Bfetch_useless")
+	ws := p.workloads()
+	kinds := []sim.PrefetcherKind{sim.PFSMS, sim.PFBFetch}
+	var jobs []runner.Job
+	for _, name := range ws {
+		for _, kind := range kinds {
+			jobs = append(jobs, runner.Solo(sim.Default(kind), name, p.Opts))
+		}
+	}
+	outs := p.engine().RunAll(jobs)
 	var totals [4]uint64
-	for _, name := range p.workloads() {
+	for wi, name := range ws {
 		var row [4]uint64
-		for i, kind := range []sim.PrefetcherKind{sim.PFSMS, sim.PFBFetch} {
-			res, err := sim.RunSolo(sim.Default(kind), name, p.Opts)
-			if err != nil {
-				return nil, err
+		for i := range kinds {
+			o := outs[wi*len(kinds)+i]
+			if o.Err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", kinds[i], name, o.Err)
 			}
-			row[2*i] = res.L1D[0].PrefetchUseful
-			row[2*i+1] = res.L1D[0].PrefetchUseless
+			row[2*i] = o.Result.L1D[0].PrefetchUseful
+			row[2*i+1] = o.Result.L1D[0].PrefetchUseless
 		}
 		p.logf("  %-12s sms %d/%d bfetch %d/%d", name, row[0], row[1], row[2], row[3])
 		for i := range totals {
@@ -149,34 +159,47 @@ func runFig13(p Params) ([]*stats.Table, error) {
 	t := stats.NewTable("Figure 13: branch predictor size sensitivity",
 		"predictor", "baseline_speedup", "bfetch_speedup", "branch_miss_rate")
 
-	// Reference baseline: default predictor, no prefetcher.
-	ref := make(map[string]float64)
-	for _, name := range p.workloads() {
-		res, err := sim.RunSolo(sim.Default(sim.PFNone), name, p.Opts)
-		if err != nil {
-			return nil, err
-		}
-		ref[name] = res.IPC[0]
+	// Reference baseline: default predictor, no prefetcher — the same point
+	// set every speedup figure shares, so it comes from the baseline store.
+	ws := p.workloads()
+	refRes, err := p.baselineResults(sim.Default(sim.PFNone), ws)
+	if err != nil {
+		return nil, err
 	}
-	for si, scale := range scales {
+	ref := make(map[string]float64, len(ws))
+	for i, name := range ws {
+		ref[name] = refRes[i].IPC[0]
+	}
+
+	// One batch over the whole grid: per scale, a scaled-predictor baseline
+	// and B-Fetch run per workload.
+	var jobs []runner.Job
+	for _, scale := range scales {
 		baseCfg := sim.Default(sim.PFNone)
 		baseCfg.Branch = baseCfg.Branch.Scaled(scale)
 		bfCfg := sim.Default(sim.PFBFetch)
 		bfCfg.Branch = bfCfg.Branch.Scaled(scale)
-
+		for _, name := range ws {
+			jobs = append(jobs,
+				runner.Solo(baseCfg, name, p.Opts),
+				runner.Solo(bfCfg, name, p.Opts))
+		}
+	}
+	outs := p.engine().RunAll(jobs)
+	for si := range scales {
 		var baseSp, bfSp, missRates []float64
-		for _, name := range p.workloads() {
-			rb, err := sim.RunSolo(baseCfg, name, p.Opts)
-			if err != nil {
-				return nil, err
+		for wi, name := range ws {
+			ob := outs[(si*len(ws)+wi)*2]
+			of := outs[(si*len(ws)+wi)*2+1]
+			if ob.Err != nil {
+				return nil, fmt.Errorf("scaled baseline on %s: %w", name, ob.Err)
 			}
-			rf, err := sim.RunSolo(bfCfg, name, p.Opts)
-			if err != nil {
-				return nil, err
+			if of.Err != nil {
+				return nil, fmt.Errorf("scaled bfetch on %s: %w", name, of.Err)
 			}
-			baseSp = append(baseSp, rb.IPC[0]/ref[name])
-			bfSp = append(bfSp, rf.IPC[0]/ref[name])
-			missRates = append(missRates, rb.Core[0].BranchMissRate())
+			baseSp = append(baseSp, ob.Result.IPC[0]/ref[name])
+			bfSp = append(bfSp, of.Result.IPC[0]/ref[name])
+			missRates = append(missRates, ob.Result.Core[0].BranchMissRate())
 		}
 		p.logf("  scale %s done", names[si])
 		t.AddRow(names[si], stats.Geomean(baseSp), stats.Geomean(bfSp),
@@ -198,21 +221,30 @@ func runFig14(p Params) ([]*stats.Table, error) {
 		bases = append(bases, nb)
 	}
 	ws := p.workloads()
+	var jobs []runner.Job
+	for _, name := range ws {
+		for ci := range configs {
+			jobs = append(jobs,
+				runner.Solo(bases[ci], name, p.Opts),
+				runner.Solo(configs[ci], name, p.Opts))
+		}
+	}
+	outs := p.engine().RunAll(jobs)
 	data := make([][]float64, len(widths))
 	for i := range data {
 		data[i] = make([]float64, len(ws))
 	}
 	for wi, name := range ws {
 		for ci := range configs {
-			rb, err := sim.RunSolo(bases[ci], name, p.Opts)
-			if err != nil {
-				return nil, err
+			ob := outs[(wi*len(configs)+ci)*2]
+			of := outs[(wi*len(configs)+ci)*2+1]
+			if ob.Err != nil {
+				return nil, fmt.Errorf("%d-wide baseline on %s: %w", widths[ci], name, ob.Err)
 			}
-			rf, err := sim.RunSolo(configs[ci], name, p.Opts)
-			if err != nil {
-				return nil, err
+			if of.Err != nil {
+				return nil, fmt.Errorf("%d-wide bfetch on %s: %w", widths[ci], name, of.Err)
 			}
-			data[ci][wi] = rf.IPC[0] / rb.IPC[0]
+			data[ci][wi] = of.Result.IPC[0] / ob.Result.IPC[0]
 		}
 		p.logf("  %-12s widths done", name)
 	}

@@ -2,13 +2,21 @@
 // paper's evaluation (§V), plus the ablation studies DESIGN.md calls out.
 // Each experiment runs the simulator and renders the same rows or series
 // the paper reports, as text tables with CSV export.
+//
+// Experiments submit their simulation points as batches to a runner.Engine
+// (see internal/runner), so independent points execute across a worker pool
+// and repeated points — above all the shared no-prefetch baseline — are
+// memoized. Tables are assembled in submission order, making output
+// byte-identical whatever the worker count.
 package harness
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -22,15 +30,28 @@ type Params struct {
 	Workloads []string
 	// Mixes is the number of multiprogrammed mixes (paper: 29).
 	Mixes int
-	// Log, when non-nil, receives progress lines.
+	// Log, when non-nil, receives progress lines. Writes are serialized, so
+	// sharing one writer across concurrent experiments is safe.
 	Log io.Writer
+	// Runner executes simulation batches. nil gives each experiment a fresh
+	// GOMAXPROCS-wide engine; share one Engine across experiments (as
+	// cmd/bfetch-bench does) to also share its memoized results, so e.g.
+	// fig1 and fig8 simulate their common Stride/SMS points once.
+	Runner *runner.Engine
+	// Baselines shares no-prefetch baseline results across experiments at
+	// the API level — independent of the runner cache, so even sequential
+	// or cache-disabled runs compute each baseline point once. nil disables
+	// cross-experiment sharing (each speedups call still runs its baseline
+	// only once).
+	Baselines *BaselineStore
 }
 
 // DefaultParams mirrors the paper's protocol at simulation-friendly scale.
 func DefaultParams() Params {
 	return Params{
-		Opts:  sim.DefaultRunOpts(),
-		Mixes: 29,
+		Opts:      sim.DefaultRunOpts(),
+		Mixes:     29,
+		Baselines: NewBaselineStore(),
 	}
 }
 
@@ -41,10 +62,25 @@ func (p Params) workloads() []string {
 	return workload.Names()
 }
 
+// logMu serializes progress output: experiments may log from pool workers,
+// and several experiments may share one writer.
+var logMu sync.Mutex
+
 func (p Params) logf(format string, args ...any) {
-	if p.Log != nil {
-		fmt.Fprintf(p.Log, format+"\n", args...)
+	if p.Log == nil {
+		return
 	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	fmt.Fprintf(p.Log, format+"\n", args...)
+}
+
+// engine returns the batch executor, defaulting to a parallel one.
+func (p Params) engine() *runner.Engine {
+	if p.Runner != nil {
+		return p.Runner
+	}
+	return runner.New(0)
 }
 
 // Experiment reproduces one paper artifact.
@@ -58,7 +94,19 @@ type Experiment struct {
 
 var experiments []Experiment
 
-func registerExperiment(e Experiment) { experiments = append(experiments, e) }
+// registerExperiment wraps Run so every experiment sees a non-nil Runner
+// that stays fixed for the whole run — within one experiment, repeated
+// points always share one cache even when the caller left Runner nil.
+func registerExperiment(e Experiment) {
+	run := e.Run
+	e.Run = func(p Params) ([]*stats.Table, error) {
+		if p.Runner == nil {
+			p.Runner = runner.New(0)
+		}
+		return run(p)
+	}
+	experiments = append(experiments, e)
+}
 
 // All returns the experiments in registration (paper) order.
 func All() []Experiment { return append([]Experiment(nil), experiments...) }
@@ -80,26 +128,106 @@ func ByID(id string) (Experiment, error) {
 
 // ----------------------------------------------------------------- shared --
 
+// BaselineStore memoizes baseline simulation results per (config, workload,
+// protocol) point across experiments. Figures 1, 8, 12, 14 and 15 and the
+// mix experiments all normalize to the same no-prefetch baseline; one store
+// per bfetch-bench invocation makes them share a single result set even
+// when the runner's own cache is bypassed.
+type BaselineStore struct {
+	mu sync.Mutex
+	m  map[string]sim.Result
+}
+
+// NewBaselineStore returns an empty store.
+func NewBaselineStore() *BaselineStore {
+	return &BaselineStore{m: make(map[string]sim.Result)}
+}
+
+func (s *BaselineStore) get(key string) (sim.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.m[key]
+	return r, ok
+}
+
+func (s *BaselineStore) put(key string, r sim.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = r
+}
+
+// Len reports how many baseline points are stored.
+func (s *BaselineStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// baselineResults returns cfg's solo result for each named workload,
+// consulting the shared store first and batching only the missing points
+// through the engine.
+func (p Params) baselineResults(cfg sim.Config, names []string) ([]sim.Result, error) {
+	out := make([]sim.Result, len(names))
+	keys := make([]string, len(names))
+	var missing []int
+	var jobs []runner.Job
+	for i, name := range names {
+		if p.Baselines != nil {
+			if key, ok := runner.Fingerprint(cfg, []string{name}, p.Opts); ok {
+				keys[i] = key
+				if r, hit := p.Baselines.get(key); hit {
+					out[i] = r
+					continue
+				}
+			}
+		}
+		missing = append(missing, i)
+		jobs = append(jobs, runner.Solo(cfg, name, p.Opts))
+	}
+	outs := p.engine().RunAll(jobs)
+	for k, i := range missing {
+		if err := outs[k].Err; err != nil {
+			return nil, fmt.Errorf("baseline on %s: %w", names[i], err)
+		}
+		out[i] = outs[k].Result
+		if p.Baselines != nil && keys[i] != "" {
+			p.Baselines.put(keys[i], outs[k].Result)
+		}
+	}
+	return out, nil
+}
+
 // speedups measures per-workload speedups of each configuration over the
-// baseline configuration. Configurations are run in order for each
-// workload; the result is indexed [config][workload order].
+// baseline configuration. All points are submitted as one batch — baseline
+// results come from the shared store — and the result is assembled in
+// submission order, indexed [config][workload order].
 func speedups(p Params, baseline sim.Config, configs []sim.Config) ([][]float64, error) {
 	ws := p.workloads()
+	base, err := p.baselineResults(baseline, ws)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]runner.Job, 0, len(configs)*len(ws))
+	for _, cfg := range configs {
+		for _, name := range ws {
+			jobs = append(jobs, runner.Solo(cfg, name, p.Opts))
+		}
+	}
+	outs := p.engine().RunAll(jobs)
+
 	out := make([][]float64, len(configs))
-	for i := range out {
-		out[i] = make([]float64, len(ws))
+	for ci, cfg := range configs {
+		out[ci] = make([]float64, len(ws))
+		for wi, name := range ws {
+			o := outs[ci*len(ws)+wi]
+			if o.Err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", label(cfg, ci), name, o.Err)
+			}
+			out[ci][wi] = o.Result.IPC[0] / base[wi].IPC[0]
+		}
 	}
 	for wi, name := range ws {
-		base, err := sim.RunSolo(baseline, name, p.Opts)
-		if err != nil {
-			return nil, fmt.Errorf("baseline on %s: %w", name, err)
-		}
 		for ci, cfg := range configs {
-			res, err := sim.RunSolo(cfg, name, p.Opts)
-			if err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", cfg.Prefetcher, name, err)
-			}
-			out[ci][wi] = res.IPC[0] / base.IPC[0]
 			p.logf("  %-12s %-8s speedup %.3f", name, label(cfg, ci), out[ci][wi])
 		}
 	}

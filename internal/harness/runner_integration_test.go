@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// These tests pin the tentpole guarantees of the parallel engine: parallel
+// and sequential execution render byte-identical tables, and repeated
+// points across experiments come from the cache.
+
+func render(tables []*stats.Table) string {
+	var sb strings.Builder
+	for _, t := range tables {
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func runWith(t *testing.T, id string, eng *runner.Engine, log *bytes.Buffer) string {
+	t.Helper()
+	p := Params{
+		Opts:      sim.RunOpts{WarmupInsts: 5_000, MeasureInsts: 10_000},
+		Workloads: []string{"libquantum", "gamess", "mcf"},
+		Mixes:     2,
+		Runner:    eng,
+		Baselines: NewBaselineStore(),
+	}
+	if log != nil {
+		p.Log = log
+	}
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(p)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return render(tables)
+}
+
+func TestParallelTablesMatchSequential(t *testing.T) {
+	for _, id := range []string{"fig8", "fig9", "fig11", "fig13", "fig14", "fig3", "fig7"} {
+		var seqLog, parLog bytes.Buffer
+		seq := runWith(t, id, runner.NewSequential(), &seqLog)
+		par := runWith(t, id, runner.New(8), &parLog)
+		if seq != par {
+			t.Errorf("%s: parallel tables differ from sequential\n--- seq ---\n%s--- par ---\n%s", id, seq, par)
+		}
+		if seqLog.String() != parLog.String() {
+			t.Errorf("%s: progress log not deterministic under parallelism", id)
+		}
+	}
+}
+
+func TestCrossExperimentCacheHits(t *testing.T) {
+	// fig1 (Stride/SMS/Perfect) and fig8 (Stride/SMS/B-Fetch) share their
+	// Stride and SMS points and the no-prefetch baseline; one shared engine
+	// must answer all of fig8's repeats from the cache.
+	eng := runner.New(4)
+	p := Params{
+		Opts:      sim.RunOpts{WarmupInsts: 5_000, MeasureInsts: 10_000},
+		Workloads: []string{"libquantum", "gamess"},
+		Runner:    eng,
+		Baselines: NewBaselineStore(),
+	}
+	for _, id := range []string{"fig1", "fig8"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(p); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	st := eng.Stats()
+	// 2 workloads × 2 shared prefetcher configs = 4 hits minimum.
+	if st.Hits < 4 {
+		t.Errorf("cache stats after fig1+fig8: %+v, want ≥4 hits", st)
+	}
+}
+
+func TestBaselineStoreSharesAcrossExperimentsWithoutCache(t *testing.T) {
+	// With the runner cache disabled (the -seq worst case), the baseline
+	// store must still keep the second experiment from re-simulating the
+	// shared no-prefetch baseline points.
+	eng := runner.NewSequential()
+	eng.SetCache(false)
+	p := Params{
+		Opts:      sim.RunOpts{WarmupInsts: 5_000, MeasureInsts: 10_000},
+		Workloads: []string{"libquantum", "gamess"},
+		Runner:    eng,
+		Baselines: NewBaselineStore(),
+	}
+	run := func(id string) {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(p); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	run("fig8")
+	afterFirst := eng.Stats().Runs
+	if p.Baselines.Len() != len(p.Workloads) {
+		t.Fatalf("baseline store holds %d points, want %d", p.Baselines.Len(), len(p.Workloads))
+	}
+	run("fig12")
+	// fig12 needs 3 threshold configs × 2 workloads = 6 new runs; its 2
+	// baseline points must come from the store.
+	if got := eng.Stats().Runs - afterFirst; got != 6 {
+		t.Errorf("fig12 ran %d sims with cache off, want 6 (baselines from the store)", got)
+	}
+}

@@ -1,0 +1,232 @@
+// Package runner executes batches of independent simulations across a
+// worker pool, with a memoizing run-cache on top.
+//
+// The paper's evaluation is hundreds of fully independent simulation points
+// (18 kernels × several prefetcher configs × sensitivity sweeps), and many
+// points repeat across figures — every speedup figure divides by the same
+// no-prefetch baseline. The Engine exploits both properties: jobs fan out
+// over GOMAXPROCS workers, and a fingerprint-keyed cache ensures each
+// distinct (config, workload, protocol) point simulates exactly once per
+// Engine lifetime, with duplicate in-flight submissions coalesced
+// singleflight-style. Results are assembled in submission order, so batch
+// output is byte-identical regardless of worker count or completion order.
+package runner
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Job is one simulation point: a system configuration running the named
+// applications (one per core) under the given measurement protocol.
+type Job struct {
+	Cfg  sim.Config
+	Apps []string
+	Opts sim.RunOpts
+}
+
+// Solo is a single-core job running one application alone.
+func Solo(cfg sim.Config, app string, opts sim.RunOpts) Job {
+	return Job{Cfg: cfg, Apps: []string{app}, Opts: opts}
+}
+
+// Multi is a CMP job running one application per core.
+func Multi(cfg sim.Config, apps []string, opts sim.RunOpts) Job {
+	return Job{Cfg: cfg, Apps: apps, Opts: opts}
+}
+
+// Outcome is one job's result; exactly one of Result/Err is meaningful.
+type Outcome struct {
+	Result sim.Result
+	Err    error
+}
+
+// Stats counts the Engine's cache and execution activity.
+type Stats struct {
+	Hits   uint64 // jobs answered from the cache (or coalesced in flight)
+	Misses uint64 // cacheable jobs that had to simulate
+	Runs   uint64 // simulations actually executed (misses + uncacheable)
+}
+
+// Engine schedules simulation jobs over a bounded worker pool and memoizes
+// their results. The zero value is not usable; construct with New or
+// NewSequential. An Engine is safe for concurrent use and needs no
+// shutdown: workers live only for the duration of each RunAll call.
+type Engine struct {
+	workers int
+	seq     bool
+	noCache bool
+
+	logMu sync.Mutex
+	log   io.Writer
+
+	mu      sync.Mutex
+	entries map[string]*entry
+
+	hits, misses, runs atomic.Uint64
+}
+
+// entry is one memoized simulation point; done closes once res/err are set,
+// coalescing concurrent duplicate submissions onto a single execution.
+type entry struct {
+	done chan struct{}
+	res  sim.Result
+	err  error
+}
+
+// New returns a parallel Engine running up to workers simulations at once;
+// workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers, entries: make(map[string]*entry)}
+}
+
+// NewSequential returns an Engine that executes every job inline on the
+// caller's goroutine — the escape hatch for debugging and for hosts where
+// background goroutines are unwelcome. The cache still applies.
+func NewSequential() *Engine {
+	e := New(1)
+	e.seq = true
+	return e
+}
+
+// Workers reports the pool size (1 for sequential engines).
+func (e *Engine) Workers() int { return e.workers }
+
+// Sequential reports whether jobs execute inline on the caller's goroutine.
+func (e *Engine) Sequential() bool { return e.seq }
+
+// SetCache enables or disables result memoization (enabled by default).
+// Disabling does not drop already-cached results; it only stops lookups
+// and insertions.
+func (e *Engine) SetCache(on bool) { e.noCache = !on }
+
+// SetLog directs per-job progress lines to w (nil disables). Writes are
+// serialized internally, so any Writer is acceptable.
+func (e *Engine) SetLog(w io.Writer) {
+	e.logMu.Lock()
+	e.log = w
+	e.logMu.Unlock()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (e *Engine) Stats() Stats {
+	return Stats{Hits: e.hits.Load(), Misses: e.misses.Load(), Runs: e.runs.Load()}
+}
+
+// Run executes one job (through the cache).
+func (e *Engine) Run(job Job) (sim.Result, error) {
+	o := e.runJob(job)
+	return o.Result, o.Err
+}
+
+// RunAll executes the batch and returns one Outcome per job, in job order.
+// Identical jobs — within the batch or vs. earlier batches — simulate once.
+func (e *Engine) RunAll(jobs []Job) []Outcome {
+	out := make([]Outcome, len(jobs))
+	if e.seq || e.workers == 1 || len(jobs) <= 1 {
+		for i, j := range jobs {
+			out[i] = e.runJob(j)
+		}
+		return out
+	}
+	e.fanOut(len(jobs), func(i int) { out[i] = e.runJob(jobs[i]) })
+	return out
+}
+
+// Map runs fn(0..n-1) across the pool and returns the lowest-index error.
+// It is the general-purpose fan-out for experiment work that is not a plain
+// sim run (functional profiles, instrumented runs); results must be written
+// into index-addressed slots by fn, which keeps assembly deterministic.
+func (e *Engine) Map(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	if e.seq || e.workers == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		e.fanOut(n, func(i int) { errs[i] = fn(i) })
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fanOut applies fn to every index using up to e.workers goroutines.
+func (e *Engine) fanOut(n int, fn func(i int)) {
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// runJob executes one job through the cache. A waiter blocking on an
+// in-flight entry cannot deadlock: entries never depend on one another, so
+// the computing worker always makes progress.
+func (e *Engine) runJob(j Job) Outcome {
+	key, cacheable := Fingerprint(j.Cfg, j.Apps, j.Opts)
+	if !cacheable || e.noCache {
+		return e.execute(j)
+	}
+	e.mu.Lock()
+	ent, found := e.entries[key]
+	if !found {
+		ent = &entry{done: make(chan struct{})}
+		e.entries[key] = ent
+		e.mu.Unlock()
+		o := e.execute(j)
+		ent.res, ent.err = o.Result, o.Err
+		close(ent.done)
+		e.misses.Add(1)
+		return o
+	}
+	e.mu.Unlock()
+	<-ent.done
+	e.hits.Add(1)
+	return Outcome{Result: ent.res, Err: ent.err}
+}
+
+// execute performs the actual simulation.
+func (e *Engine) execute(j Job) Outcome {
+	start := time.Now()
+	res, err := sim.Run(j.Cfg, j.Apps, j.Opts)
+	e.runs.Add(1)
+	e.logf("runner: %-8s %v done in %s", j.Cfg.Prefetcher, j.Apps,
+		time.Since(start).Round(time.Millisecond))
+	return Outcome{Result: res, Err: err}
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	e.logMu.Lock()
+	defer e.logMu.Unlock()
+	if e.log != nil {
+		fmt.Fprintf(e.log, format+"\n", args...)
+	}
+}

@@ -1,0 +1,207 @@
+package runner
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/branch"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+)
+
+// tinyOpts keeps each simulation short enough that the whole file runs in
+// seconds even under -race.
+func tinyOpts() sim.RunOpts {
+	return sim.RunOpts{WarmupInsts: 2_000, MeasureInsts: 5_000}
+}
+
+func testJobs() []Job {
+	opts := tinyOpts()
+	var jobs []Job
+	for _, kind := range []sim.PrefetcherKind{sim.PFNone, sim.PFStride, sim.PFBFetch} {
+		for _, app := range []string{"libquantum", "gamess", "mcf"} {
+			jobs = append(jobs, Solo(sim.Default(kind), app, opts))
+		}
+	}
+	jobs = append(jobs, Multi(sim.Default(sim.PFSMS), []string{"mcf", "milc"}, opts))
+	return jobs
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	jobs := testJobs()
+	seq := NewSequential().RunAll(jobs)
+	par := New(8).RunAll(jobs)
+	if len(seq) != len(jobs) || len(par) != len(jobs) {
+		t.Fatalf("outcome counts: seq %d, par %d, want %d", len(seq), len(par), len(jobs))
+	}
+	for i := range jobs {
+		if seq[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("job %d errors: seq %v, par %v", i, seq[i].Err, par[i].Err)
+		}
+		if !reflect.DeepEqual(seq[i].Result, par[i].Result) {
+			t.Errorf("job %d (%s on %v): parallel result diverges from sequential",
+				i, jobs[i].Cfg.Prefetcher, jobs[i].Apps)
+		}
+	}
+}
+
+func TestEngineMatchesDirectRun(t *testing.T) {
+	cfg := sim.Default(sim.PFBFetch)
+	want, err := sim.RunSolo(cfg, "mcf", tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := New(4).Run(Solo(cfg, "mcf", tinyOpts()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("engine result differs from direct sim.RunSolo")
+	}
+}
+
+func TestCacheHitsOnRepeatedJobs(t *testing.T) {
+	e := New(4)
+	job := Solo(sim.Default(sim.PFStride), "libquantum", tinyOpts())
+
+	// Same point four times in one batch: one simulation, three hits.
+	outs := e.RunAll([]Job{job, job, job, job})
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+		if !reflect.DeepEqual(outs[0].Result, o.Result) {
+			t.Errorf("job %d result differs from first", i)
+		}
+	}
+	st := e.Stats()
+	if st.Misses != 1 || st.Hits != 3 || st.Runs != 1 {
+		t.Errorf("after batch: %+v, want 1 miss / 3 hits / 1 run", st)
+	}
+
+	// A later batch resubmitting the point hits again.
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Hits != 4 || st.Runs != 1 {
+		t.Errorf("after resubmission: %+v, want 4 hits / 1 run", st)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	e := NewSequential()
+	e.SetCache(false)
+	job := Solo(sim.Default(sim.PFNone), "gamess", tinyOpts())
+	e.RunAll([]Job{job, job})
+	if st := e.Stats(); st.Runs != 2 || st.Hits != 0 {
+		t.Errorf("cache-off stats = %+v, want 2 runs / 0 hits", st)
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	opts := tinyOpts()
+	a, ok := Fingerprint(sim.Default(sim.PFBFetch), []string{"mcf"}, opts)
+	if !ok {
+		t.Fatal("default config not cacheable")
+	}
+	b, _ := Fingerprint(sim.Default(sim.PFBFetch), []string{"mcf"}, opts)
+	if a != b {
+		t.Error("identical points fingerprint differently")
+	}
+
+	// Cores is normalized to the app count, so a stale caller value cannot
+	// split the point.
+	cfg := sim.Default(sim.PFBFetch)
+	cfg.Cores = 7
+	if c, _ := Fingerprint(cfg, []string{"mcf"}, opts); c != a {
+		t.Error("Cores not normalized in fingerprint")
+	}
+
+	// Any config, workload, or protocol change must change the key.
+	diff := sim.Default(sim.PFBFetch)
+	diff.BFetch.PathThreshold = 0.9
+	for name, got := range map[string]string{
+		"config":   fp(t, diff, []string{"mcf"}, opts),
+		"workload": fp(t, sim.Default(sim.PFBFetch), []string{"milc"}, opts),
+		"opts":     fp(t, sim.Default(sim.PFBFetch), []string{"mcf"}, sim.RunOpts{WarmupInsts: 1, MeasureInsts: 5_000}),
+		"kind":     fp(t, sim.Default(sim.PFSMS), []string{"mcf"}, opts),
+	} {
+		if got == a {
+			t.Errorf("%s change did not change fingerprint", name)
+		}
+	}
+
+	// Custom-factory configs must not be cached: closure identity is not
+	// behaviour.
+	custom := sim.Default(sim.PFCustom)
+	custom.Factory = func(*branch.Predictor, *branch.Confidence) prefetch.Prefetcher {
+		return prefetch.None{}
+	}
+	if _, ok := Fingerprint(custom, []string{"mcf"}, opts); ok {
+		t.Error("factory config reported cacheable")
+	}
+}
+
+func fp(t *testing.T, cfg sim.Config, apps []string, opts sim.RunOpts) string {
+	t.Helper()
+	key, ok := Fingerprint(cfg, apps, opts)
+	if !ok {
+		t.Fatal("expected cacheable point")
+	}
+	return key
+}
+
+func TestErrorsAreMemoizedAndOrdered(t *testing.T) {
+	e := New(4)
+	bad := Solo(sim.Default(sim.PFNone), "nonesuch", tinyOpts())
+	good := Solo(sim.Default(sim.PFNone), "gamess", tinyOpts())
+	outs := e.RunAll([]Job{good, bad, bad})
+	if outs[0].Err != nil {
+		t.Errorf("good job failed: %v", outs[0].Err)
+	}
+	for i := 1; i <= 2; i++ {
+		if outs[i].Err == nil || !strings.Contains(outs[i].Err.Error(), "nonesuch") {
+			t.Errorf("job %d error = %v, want unknown-benchmark", i, outs[i].Err)
+		}
+	}
+}
+
+func TestMap(t *testing.T) {
+	e := New(4)
+	vals := make([]int, 100)
+	if err := e.Map(len(vals), func(i int) error {
+		vals[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != i*i {
+			t.Fatalf("vals[%d] = %d", i, v)
+		}
+	}
+	err := e.Map(10, func(i int) error {
+		if i == 3 || i == 7 {
+			return fmt.Errorf("boom %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom 3" {
+		t.Errorf("Map error = %v, want lowest-index boom 3", err)
+	}
+}
+
+func TestEngineLog(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewSequential()
+	e.SetLog(&buf)
+	if _, err := e.Run(Solo(sim.Default(sim.PFNone), "gamess", tinyOpts())); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "gamess") {
+		t.Errorf("log = %q", buf.String())
+	}
+}
