@@ -1,0 +1,37 @@
+# Verification targets mirror ROADMAP.md so CI and humans run the same thing.
+
+GO ?= go
+
+.PHONY: all build test verify verify-full race bench bench-json clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 verify (ROADMAP.md).
+verify: build test
+
+# Full pass: tier-1 plus vet and the race leg over the concurrent packages.
+verify-full: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/runner ./internal/harness ./internal/workload
+
+race:
+	$(GO) test -race ./internal/runner ./internal/harness ./internal/workload
+
+# Hot-path microbenchmarks (BenchmarkCoreCycle must report 0 allocs/op).
+bench:
+	$(GO) test -run xxx -bench 'CoreCycle|CacheAccess|BFetchTick|SimMemoryBound' \
+		-benchmem ./internal/cpu ./internal/cache ./internal/core ./internal/sim
+
+# Refresh the machine-readable simulation-throughput record.
+bench-json:
+	$(GO) run ./cmd/bfetch-bench -exp all -q -benchjson BENCH_sim.json
+
+clean:
+	rm -rf results

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -51,6 +52,8 @@ func run() error {
 		quiet      = flag.Bool("q", false, "suppress progress logging")
 		jobs       = flag.Int("j", 0, "simulations in flight (0 = GOMAXPROCS)")
 		seq        = flag.Bool("seq", false, "run simulations sequentially on one goroutine (escape hatch)")
+		simloop    = flag.String("simloop", "auto", "clock strategy: auto, event, or naive (escape hatch)")
+		benchJSON  = flag.String("benchjson", "", "write per-experiment simulation throughput to this JSON file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -77,13 +80,18 @@ func run() error {
 		defer pprof.StopCPUProfile()
 	}
 
+	loop, err := sim.ParseLoopMode(*simloop)
+	if err != nil {
+		return err
+	}
+
 	eng := runner.New(*jobs)
 	if *seq {
 		eng = runner.NewSequential()
 	}
 
 	params := harness.DefaultParams()
-	params.Opts = sim.RunOpts{WarmupInsts: *warmup, MeasureInsts: *measure}
+	params.Opts = sim.RunOpts{WarmupInsts: *warmup, MeasureInsts: *measure, Loop: loop}
 	params.Mixes = *mixes
 	params.Runner = eng
 	if *workloads != "" {
@@ -107,6 +115,9 @@ func run() error {
 	}
 
 	var prev runner.Stats
+	var bench benchReport
+	bench.Loop = loop.String()
+	bench.Workers = eng.Workers()
 	for _, e := range todo {
 		start := time.Now()
 		fmt.Fprintf(os.Stderr, "running %s: %s (%d workers)\n", e.ID, e.Title, eng.Workers())
@@ -114,10 +125,12 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
+		wall := time.Since(start)
 		st := eng.Stats()
 		fmt.Fprintf(os.Stderr, "%s finished in %s (%d sims run, cache: %d hits, %d misses)\n",
-			e.ID, time.Since(start).Round(time.Millisecond),
+			e.ID, wall.Round(time.Millisecond),
 			st.Runs-prev.Runs, st.Hits-prev.Hits, st.Misses-prev.Misses)
+		bench.add(e.ID, wall, prev, st)
 		prev = st
 		for i, t := range tables {
 			fmt.Println(t)
@@ -141,6 +154,12 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "total: %d sims run, cache: %d hits, %d misses\n",
 			st.Runs, st.Hits, st.Misses)
 	}
+	if *benchJSON != "" {
+		if err := bench.write(*benchJSON, eng.Stats()); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *benchJSON)
+	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -154,4 +173,79 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// benchReport is the machine-readable throughput record written by
+// -benchjson, tracking the simulator's performance trajectory across PRs.
+type benchReport struct {
+	Generated   string      `json:"generated"`
+	Loop        string      `json:"loop"`
+	Workers     int         `json:"workers"`
+	Experiments []benchExp  `json:"experiments"`
+	Total       *benchTotal `json:"total,omitempty"`
+}
+
+// benchExp reports one experiment's simulation throughput: cycles and
+// instructions are summed over the measured window of every simulated core,
+// and rates divide by the experiment's wall-clock time (so cache hits, which
+// simulate nothing, depress the rate of repeated runs — by design).
+type benchExp struct {
+	ID            string  `json:"id"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	Sims          uint64  `json:"sims"`
+	CacheHits     uint64  `json:"cache_hits"`
+	SimCycles     uint64  `json:"sim_cycles"`
+	SimInsts      uint64  `json:"sim_insts"`
+	KCyclesPerSec float64 `json:"sim_kcycles_per_sec"`
+	InstsPerSec   float64 `json:"committed_insts_per_sec"`
+}
+
+type benchTotal struct {
+	WallSeconds   float64 `json:"wall_seconds"`
+	Sims          uint64  `json:"sims"`
+	SimCycles     uint64  `json:"sim_cycles"`
+	SimInsts      uint64  `json:"sim_insts"`
+	KCyclesPerSec float64 `json:"sim_kcycles_per_sec"`
+	InstsPerSec   float64 `json:"committed_insts_per_sec"`
+}
+
+func (b *benchReport) add(id string, wall time.Duration, prev, st runner.Stats) {
+	sec := wall.Seconds()
+	cycles := st.SimCycles - prev.SimCycles
+	insts := st.SimInsts - prev.SimInsts
+	exp := benchExp{
+		ID:          id,
+		WallSeconds: sec,
+		Sims:        st.Runs - prev.Runs,
+		CacheHits:   st.Hits - prev.Hits,
+		SimCycles:   cycles,
+		SimInsts:    insts,
+	}
+	if sec > 0 {
+		exp.KCyclesPerSec = float64(cycles) / 1e3 / sec
+		exp.InstsPerSec = float64(insts) / sec
+	}
+	b.Experiments = append(b.Experiments, exp)
+}
+
+func (b *benchReport) write(path string, st runner.Stats) error {
+	b.Generated = time.Now().UTC().Format(time.RFC3339)
+	var wall float64
+	for _, e := range b.Experiments {
+		wall += e.WallSeconds
+	}
+	total := benchTotal{
+		WallSeconds: wall, Sims: st.Runs,
+		SimCycles: st.SimCycles, SimInsts: st.SimInsts,
+	}
+	if wall > 0 {
+		total.KCyclesPerSec = float64(st.SimCycles) / 1e3 / wall
+		total.InstsPerSec = float64(st.SimInsts) / wall
+	}
+	b.Total = &total
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

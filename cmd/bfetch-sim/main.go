@@ -26,6 +26,7 @@ func main() {
 		warmup  = flag.Uint64("warmup", 100_000, "warmup instructions per core")
 		measure = flag.Uint64("measure", 300_000, "measured instructions per core")
 		conf    = flag.Float64("conf", 0.75, "B-Fetch path confidence threshold")
+		simloop = flag.String("simloop", "auto", "clock strategy: auto, event, or naive (escape hatch)")
 		list    = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
@@ -41,12 +42,18 @@ func main() {
 		return
 	}
 
+	loop, err := sim.ParseLoopMode(*simloop)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfetch-sim:", err)
+		os.Exit(1)
+	}
+
 	cfg := sim.Default(sim.PrefetcherKind(*pf))
 	cfg.CPU = cfg.CPU.WithWidth(*width)
 	cfg.BFetch.PathThreshold = *conf
 	names := strings.Split(*apps, ",")
 
-	res, err := sim.Run(cfg, names, sim.RunOpts{WarmupInsts: *warmup, MeasureInsts: *measure})
+	res, err := sim.Run(cfg, names, sim.RunOpts{WarmupInsts: *warmup, MeasureInsts: *measure, Loop: loop})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bfetch-sim:", err)
 		os.Exit(1)

@@ -32,12 +32,16 @@ func (p *nextTwo) OnAccess(a bfetch.AccessInfo) {
 	)
 }
 
-// Tick drains up to two requests per cycle, like a real prefetch queue.
-func (p *nextTwo) Tick(now uint64) []bfetch.PrefetchRequest {
+// AppendTick drains up to two requests per cycle into the caller's buffer,
+// like a real prefetch queue. (PrefetcherBase's Idle reports false, so the
+// event-driven clock keeps ticking this engine whenever its core runs — a
+// custom Idle override returning len(p.pending) == 0 would let the simulator
+// skip cycles while the queue is empty.)
+func (p *nextTwo) AppendTick(dst []bfetch.PrefetchRequest, now uint64) []bfetch.PrefetchRequest {
 	n := min(2, len(p.pending))
-	out := p.pending[:n]
-	p.pending = p.pending[n:]
-	return out
+	dst = append(dst, p.pending[:n]...)
+	p.pending = p.pending[:copy(p.pending, p.pending[n:])]
+	return dst
 }
 
 func (p *nextTwo) StorageBits() int { return 64 * 42 } // its queue

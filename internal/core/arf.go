@@ -57,6 +57,9 @@ func (a *arf) tick(now uint64) {
 // read returns the ARF's current view of a register.
 func (a *arf) read(reg uint8) int64 { return a.val[reg] }
 
+// idle reports whether no samples are draining through the latches.
+func (a *arf) idle() bool { return len(a.pending) == 0 }
+
 // storageBits: 32 registers × (32-bit value + 8-bit sequence) = 1280 bits =
 // 0.156 KB (Table I).
 func (a *arf) storageBits() int { return isa.NumRegs * (32 + 8) }

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/branch"
+	"repro/internal/isa"
+	"repro/internal/prefetch"
+)
+
+// BenchmarkBFetchTick measures one prefetcher tick under a steady decode
+// stream: DBR pickup, a lookahead step, ARF latch drain, and queue pop —
+// the per-cycle cost B-Fetch adds to a core.
+func BenchmarkBFetchTick(b *testing.B) {
+	bp := branch.New(branch.DefaultConfig())
+	conf := branch.NewConfidence(branch.DefaultConfidenceConfig())
+	pf := New(DefaultConfig(), bp, conf)
+
+	d := prefetch.DecodeInfo{
+		PC: 0x1000, Op: isa.BNEZ, Target: 0x1400,
+		PredTaken: true, PredNext: 0x1400, GHR: 0x55,
+	}
+	var reqs []prefetch.Request
+	var now uint64
+	for ; now < 10_000; now++ { // steady state for latches and queue
+		pf.OnDecode(d)
+		pf.OnExec(isa.Reg(3), int64(now), now, now)
+		reqs = pf.AppendTick(reqs[:0], now)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pf.OnDecode(d)
+		pf.OnExec(isa.Reg(3), int64(now), now, now)
+		reqs = pf.AppendTick(reqs[:0], now)
+		now++
+	}
+}

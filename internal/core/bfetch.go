@@ -153,8 +153,9 @@ type BFetch struct {
 	filter *loadFilter
 	queue  *prefetch.Queue
 
-	la  lookahead
-	dbr *prefetch.DecodeInfo // Decoded Branch Register: newest decoded branch
+	la       lookahead
+	dbr      prefetch.DecodeInfo // Decoded Branch Register: newest decoded branch
+	dbrValid bool
 
 	// Commit-side learning state: the key of the basic block being
 	// committed, and the register values when its leading branch committed.
@@ -205,8 +206,8 @@ func (b *BFetch) OnDecode(d prefetch.DecodeInfo) {
 	if d.PredNext == 0 {
 		return // stalled fetch (unresolved indirect); nothing to walk from
 	}
-	di := d
-	b.dbr = &di
+	b.dbr = d
+	b.dbrValid = true
 }
 
 // OnExec implements cpu.ExecObserver: execute-stage register samples feed
@@ -270,16 +271,16 @@ func (b *BFetch) PrefetchUseless(loadPC uint64, _ uint64) { b.filter.useless(loa
 
 // ------------------------------------------------------------- the walk --
 
-// Tick advances the prefetch pipeline one cycle: apply ARF samples, walk one
-// basic block of lookahead (generating that block's prefetches), and drain
-// the queue.
-func (b *BFetch) Tick(now uint64) []prefetch.Request {
+// AppendTick advances the prefetch pipeline one cycle: apply ARF samples,
+// walk one basic block of lookahead (generating that block's prefetches),
+// and drain the queue into dst.
+func (b *BFetch) AppendTick(dst []prefetch.Request, now uint64) []prefetch.Request {
 	b.arf.tick(now)
 
 	// Pick up a new lookahead when idle.
-	if !b.la.active && b.dbr != nil {
+	if !b.la.active && b.dbrValid {
 		d := b.dbr
-		b.dbr = nil
+		b.dbrValid = false
 		b.la.active = true
 		b.la.key = pathKey{branchPC: d.PC, taken: d.PredTaken, targetPC: d.PredNext}
 		b.la.ghr = branch.GHR(d.GHR)
@@ -296,7 +297,21 @@ func (b *BFetch) Tick(now uint64) []prefetch.Request {
 	if b.la.active {
 		b.step()
 	}
-	return b.queue.PopCycle()
+	return b.queue.AppendPop(dst)
+}
+
+// Idle reports whether the whole engine is quiescent: no lookahead in
+// flight, no decoded branch waiting in the DBR, no ARF samples draining
+// through the sampling latches, and an empty prefetch queue. Only then can
+// the core skip the engine's cycles without changing its behaviour.
+func (b *BFetch) Idle() bool {
+	return !b.la.active && !b.dbrValid && b.arf.idle() && b.queue.Len() == 0
+}
+
+// ResetStats zeroes the measurement counters without touching learned state.
+func (b *BFetch) ResetStats() {
+	b.Stats = Stats{}
+	b.queue.ResetStats()
 }
 
 // step processes one basic block: generate its prefetches, then advance to

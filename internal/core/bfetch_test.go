@@ -268,7 +268,7 @@ func TestEndToEndLookahead(t *testing.T) {
 
 	var reqs []prefetch.Request
 	for cyc := uint64(3); cyc < 40; cyc++ {
-		reqs = append(reqs, b.Tick(cyc)...)
+		reqs = b.AppendTick(reqs, cyc)
 	}
 	if len(reqs) < 3 {
 		t.Fatalf("lookahead produced %d prefetches, want several (stats %+v)", len(reqs), b.Stats)
@@ -300,7 +300,7 @@ func TestLookaheadStopsOnColdBrTC(t *testing.T) {
 	b := newTestBFetch(DefaultConfig())
 	b.OnDecode(prefetch.DecodeInfo{PC: 0x9000, Op: isa.BNEZ, PredTaken: true, PredNext: 0x9100})
 	for cyc := uint64(0); cyc < 10; cyc++ {
-		b.Tick(cyc)
+		b.AppendTick(nil, cyc)
 	}
 	if b.Stats.BrTCMisses != 1 {
 		t.Errorf("BrTC misses = %d, want 1", b.Stats.BrTCMisses)
@@ -327,7 +327,7 @@ func TestFilterSuppressesBadLoads(t *testing.T) {
 	b.OnDecode(prefetch.DecodeInfo{PC: brA, Op: isa.BNEZ, PredTaken: true, PredNext: blkA})
 	var reqs []prefetch.Request
 	for cyc := uint64(0); cyc < 20; cyc++ {
-		reqs = append(reqs, b.Tick(cyc)...)
+		reqs = b.AppendTick(reqs, cyc)
 	}
 	if len(reqs) != 0 {
 		t.Errorf("filtered load still prefetched: %v", reqs)
@@ -355,7 +355,7 @@ func TestAblationSwitches(t *testing.T) {
 	b.OnDecode(prefetch.DecodeInfo{PC: brA, Op: isa.BNEZ, PredTaken: true, PredNext: blkA})
 	var reqs []prefetch.Request
 	for cyc := uint64(0); cyc < 20; cyc++ {
-		reqs = append(reqs, b.Tick(cyc)...)
+		reqs = b.AppendTick(reqs, cyc)
 	}
 	if len(reqs) == 0 {
 		t.Error("with the filter disabled, prefetches should flow")

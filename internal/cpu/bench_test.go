@@ -1,0 +1,47 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// benchProgram loops forever over a 64 KB working set — large enough to miss
+// in L1D — mixing loads, stores, ALU ops, and branches, so a single Cycle
+// exercises every pipeline stage.
+func benchProgram() (*isa.Program, *mem.Memory) {
+	prog := isa.MustAssemble(`
+		movi r1, 0
+	loop:
+		ld   r2, 0x40000(r1)
+		addi r2, r2, 1
+		st   r2, 0x40000(r1)
+		addi r1, r1, 64
+		andi r1, r1, 65535
+		jmp  loop
+	`)
+	return prog, mem.New()
+}
+
+// BenchmarkCoreCycle measures the per-cycle cost of the simulation kernel.
+// The acceptance bar is 0 allocs/op: the hot path must run entirely on
+// persistent, reused buffers.
+func BenchmarkCoreCycle(b *testing.B) {
+	prog, image := benchProgram()
+	c := newTestCore(prog, image, nil)
+	var now uint64
+	// Warm every internal buffer to steady-state capacity.
+	for ; now < 50_000; now++ {
+		c.Cycle(now)
+	}
+	if c.Halted() {
+		b.Fatal("benchmark core halted during warmup")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Cycle(now)
+		now++
+	}
+}

@@ -121,15 +121,33 @@ type Core struct {
 	ready     []ref // entries with state sReady
 	inflight  []ref // issued, waiting for doneAt
 	pendLoads []ref // loads blocked on disambiguation or ports
-	storeQ    []ref // uncommitted stores, oldest first (disambiguation)
 
-	fq            []fqEntry
+	// storeQ is a ring of uncommitted stores, oldest first (disambiguation).
+	// Capacity is the ROB size — a store occupies a ROB slot while queued —
+	// so the backing array is allocated once and never grows.
+	storeQ []ref
+	sqHead int
+	sqN    int
+
+	// fq is the fetch queue as a ring: capacity cfg.FetchQueue, allocated
+	// once. (A plain slice advanced with fq[1:] would re-allocate its
+	// backing array continuously on the hot path.)
+	fq     []fqEntry
+	fqHead int
+	fqN    int
+
 	fetchPC       int // next instruction index to fetch; -1 = stalled
 	fetchResumeAt uint64
 	specGHR       branch.GHR
 
 	halted bool
 	err    error
+
+	// Per-cycle scratch buffers, reused so the steady-state cycle path does
+	// not allocate: doneScratch collects completing refs in complete();
+	// pfReqs receives the prefetcher's requests in prefetchTick().
+	doneScratch []ref
+	pfReqs      []prefetch.Request
 
 	Stats Stats
 }
@@ -138,18 +156,39 @@ type Core struct {
 func New(cfg Config, prog *isa.Program, m *mem.Memory, hier *cache.Hierarchy,
 	bp *branch.Predictor, conf *branch.Confidence, pf prefetch.Prefetcher) *Core {
 	c := &Core{
-		cfg:  cfg,
-		prog: prog,
-		mem:  m,
-		hier: hier,
-		bp:   bp,
-		conf: conf,
-		pf:   pf,
-		rob:  make([]robEntry, cfg.ROBEntries),
+		cfg:    cfg,
+		prog:   prog,
+		mem:    m,
+		hier:   hier,
+		bp:     bp,
+		conf:   conf,
+		pf:     pf,
+		rob:    make([]robEntry, cfg.ROBEntries),
+		storeQ: make([]ref, max(1, cfg.ROBEntries)),
+		fq:     make([]fqEntry, max(1, cfg.FetchQueue)),
 	}
 	c.pfEx, _ = pf.(ExecObserver)
 	c.nextSeq = 1
 	return c
+}
+
+// fqAt returns the i-th fetch-queue entry, oldest first. Ring indices stay
+// in [0, 2·len) so a conditional subtract replaces the much slower modulo.
+func (c *Core) fqAt(i int) *fqEntry {
+	j := c.fqHead + i
+	if j >= len(c.fq) {
+		j -= len(c.fq)
+	}
+	return &c.fq[j]
+}
+
+// sqAt returns the i-th store-queue ref, oldest first.
+func (c *Core) sqAt(i int) ref {
+	j := c.sqHead + i
+	if j >= len(c.storeQ) {
+		j -= len(c.storeQ)
+	}
+	return c.storeQ[j]
 }
 
 // Halted reports whether the program has committed HALT (or faulted).
@@ -193,7 +232,13 @@ func (c *Core) entry(r ref) *robEntry {
 	return e
 }
 
-func (c *Core) tailSlot() int { return (c.headSlot + c.count) % len(c.rob) }
+func (c *Core) tailSlot() int {
+	j := c.headSlot + c.count
+	if j >= len(c.rob) {
+		j -= len(c.rob)
+	}
+	return j
+}
 
 // ---------------------------------------------------------------- commit --
 
@@ -256,12 +301,17 @@ func (c *Core) commit(now uint64) {
 		})
 
 		c.Stats.Committed++
-		if in.IsStore() && len(c.storeQ) > 0 {
+		if in.IsStore() && c.sqN > 0 {
 			// Stores commit in order: the queue head is this store.
-			c.storeQ = c.storeQ[1:]
+			if c.sqHead++; c.sqHead == len(c.storeQ) {
+				c.sqHead = 0
+			}
+			c.sqN--
 		}
 		e.seq = 0
-		c.headSlot = (c.headSlot + 1) % len(c.rob)
+		if c.headSlot++; c.headSlot == len(c.rob) {
+			c.headSlot = 0
+		}
 		c.count--
 
 		if in.Op == isa.HALT {
@@ -275,13 +325,15 @@ func (c *Core) commit(now uint64) {
 
 func (c *Core) complete(now uint64) {
 	// Collect finishing entries, oldest first, so a squash from an older
-	// branch naturally invalidates younger resolutions.
-	var done []ref
+	// branch naturally invalidates younger resolutions. The collection
+	// buffer is persistent scratch — the per-cycle path must not allocate.
+	done := c.doneScratch[:0]
 	for _, r := range c.inflight {
 		if e := c.entry(r); e != nil && e.state == sIssued && e.doneAt <= now {
 			done = append(done, r)
 		}
 	}
+	c.doneScratch = done
 	for i := 1; i < len(done); i++ {
 		for j := i; j > 0 && done[j].seq < done[j-1].seq; j-- {
 			done[j], done[j-1] = done[j-1], done[j]
@@ -332,7 +384,10 @@ func (c *Core) broadcast(e *robEntry) {
 // instruction and redirects fetch.
 func (c *Core) recover(e *robEntry, now uint64) {
 	for c.count > 0 {
-		ts := (c.tailSlot() + len(c.rob) - 1) % len(c.rob)
+		ts := c.tailSlot() - 1
+		if ts < 0 {
+			ts += len(c.rob)
+		}
 		t := &c.rob[ts]
 		if t.seq <= e.seq {
 			break
@@ -349,13 +404,13 @@ func (c *Core) recover(e *robEntry, now uint64) {
 		c.count--
 	}
 	// The fetch queue holds only instructions younger than any ROB entry.
-	c.Stats.Squashed += uint64(len(c.fq))
-	c.fq = c.fq[:0]
+	c.Stats.Squashed += uint64(c.fqN)
+	c.fqHead, c.fqN = 0, 0
 
 	// Drop squashed stores from the disambiguation queue (they are at the
 	// tail: stores enter in program order).
-	for len(c.storeQ) > 0 && c.storeQ[len(c.storeQ)-1].seq > e.seq {
-		c.storeQ = c.storeQ[:len(c.storeQ)-1]
+	for c.sqN > 0 && c.sqAt(c.sqN-1).seq > e.seq {
+		c.sqN--
 	}
 
 	// Restore the rename table from the branch's snapshot, dropping
@@ -530,8 +585,8 @@ func (c *Core) tryLoad(e *robEntry, now uint64) bool {
 // address has its data, or blocked if any intervening store address is
 // unknown or overlaps inexactly.
 func (c *Core) disambiguate(e *robEntry) (fwd bool, val int64, blocked bool) {
-	for i := len(c.storeQ) - 1; i >= 0; i-- {
-		s := c.entry(c.storeQ[i])
+	for i := c.sqN - 1; i >= 0; i-- {
+		s := c.entry(c.sqAt(i))
 		if s == nil || s.seq >= e.seq {
 			continue
 		}
@@ -556,14 +611,17 @@ func rangesOverlap(a, b uint64) bool {
 
 func (c *Core) dispatch(now uint64) {
 	for n := 0; n < c.cfg.Width; n++ {
-		if len(c.fq) == 0 || c.count == len(c.rob) {
+		if c.fqN == 0 || c.count == len(c.rob) {
 			return
 		}
-		f := c.fq[0]
+		f := *c.fqAt(0)
 		if f.fetchedAt+c.cfg.FrontEndDelay > now {
 			return
 		}
-		c.fq = c.fq[1:]
+		if c.fqHead++; c.fqHead == len(c.fq) {
+			c.fqHead = 0
+		}
+		c.fqN--
 
 		seq := c.nextSeq
 		c.nextSeq++
@@ -609,7 +667,12 @@ func (c *Core) dispatch(now uint64) {
 		}
 
 		if in.IsStore() {
-			c.storeQ = append(c.storeQ, ref{slot: slot, seq: seq})
+			st := c.sqHead + c.sqN
+			if st >= len(c.storeQ) {
+				st -= len(c.storeQ)
+			}
+			c.storeQ[st] = ref{slot: slot, seq: seq}
+			c.sqN++
 		}
 
 		// Control instructions snapshot the RAT for recovery and feed the
@@ -657,7 +720,7 @@ func (c *Core) fetch(now uint64) {
 		return
 	}
 	for n := 0; n < c.cfg.Width; n++ {
-		if len(c.fq) >= c.cfg.FetchQueue {
+		if c.fqN >= c.cfg.FetchQueue {
 			return
 		}
 		idx := c.fetchPC
@@ -700,7 +763,12 @@ func (c *Core) fetch(now uint64) {
 			f.predNext = -1
 		}
 
-		c.fq = append(c.fq, f)
+		ft := c.fqHead + c.fqN
+		if ft >= len(c.fq) {
+			ft -= len(c.fq)
+		}
+		c.fq[ft] = f
+		c.fqN++
 		switch {
 		case f.predNext == -1:
 			c.fetchPC = -1
@@ -717,7 +785,8 @@ func (c *Core) fetch(now uint64) {
 // ------------------------------------------------------------- prefetch --
 
 func (c *Core) prefetchTick(now uint64) {
-	for _, r := range c.pf.Tick(now) {
+	c.pfReqs = c.pf.AppendTick(c.pfReqs[:0], now)
+	for _, r := range c.pfReqs {
 		if c.hier.Prefetch(r.Addr, r.LoadPC, now) {
 			c.Stats.PrefetchIssued++
 		} else {
@@ -725,6 +794,64 @@ func (c *Core) prefetchTick(now uint64) {
 		}
 	}
 }
+
+// ------------------------------------------------------------ next event --
+
+// NoEvent is NextEvent's answer when the core can make no progress on its
+// own: it is halted, or fully drained with fetch stalled (a program that ran
+// off its end without HALT spins until the cycle bound either way).
+const NoEvent = ^uint64(0)
+
+// NextEvent returns the earliest cycle after now at which Cycle can do any
+// work, assuming no external state changes. The contract backing the
+// event-driven simulation loop: for every cycle t with now < t <
+// NextEvent(now), Cycle(t) would be a no-op apart from the Stats.Cycles
+// increment — so a caller may skip those cycles entirely (crediting the
+// skipped count via AddIdleCycles) and produce bit-identical results to
+// ticking every cycle.
+//
+// Each pipeline stage contributes its wake-up condition; anything that could
+// act on the very next cycle (ready entries, blocked loads retrying for a
+// port, a busy prefetch engine) pins the next event to now+1.
+func (c *Core) NextEvent(now uint64) uint64 {
+	if c.halted {
+		return NoEvent
+	}
+	// Issue has work queued, blocked loads retry every cycle, and a non-idle
+	// prefetch engine ticks every cycle: no skipping.
+	if len(c.ready) > 0 || len(c.pendLoads) > 0 || !c.pf.Idle() {
+		return now + 1
+	}
+	next := uint64(NoEvent)
+	// Commit: the ROB head has completed and waits out its latency.
+	if c.count > 0 {
+		if e := &c.rob[c.headSlot]; e.state == sDone {
+			next = min(next, max(now+1, e.doneAt))
+		}
+	}
+	// Complete: the earliest in-flight completion.
+	for _, r := range c.inflight {
+		if e := c.entry(r); e != nil && e.state == sIssued {
+			next = min(next, max(now+1, e.doneAt))
+		}
+	}
+	// Dispatch: the fetch-queue head clears the front-end delay (and a ROB
+	// slot is free; a full ROB drains through commit, covered above).
+	if c.fqN > 0 && c.count < len(c.rob) {
+		next = min(next, max(now+1, c.fqAt(0).fetchedAt+c.cfg.FrontEndDelay))
+	}
+	// Fetch: resumes after a redirect once there is queue room (a full
+	// queue drains through dispatch, covered above).
+	if c.fetchPC >= 0 && c.fqN < c.cfg.FetchQueue {
+		next = min(next, max(now+1, c.fetchResumeAt))
+	}
+	return next
+}
+
+// AddIdleCycles credits cycles the event-driven loop skipped: cycles the
+// naive loop would have spent calling Cycle with no effect beyond the
+// Stats.Cycles increment.
+func (c *Core) AddIdleCycles(n uint64) { c.Stats.Cycles += n }
 
 // Run drives the core on its own private clock until it halts, commits
 // maxInsts, or exceeds maxCycles; single-core convenience used by tests and

@@ -123,12 +123,11 @@ type fixedPF struct {
 }
 
 func (f *fixedPF) Name() string { return "fixed" }
-func (f *fixedPF) Tick(uint64) []prefetch.Request {
-	out := make([]prefetch.Request, len(f.addrs))
-	for i, a := range f.addrs {
-		out[i] = prefetch.Request{Addr: a, LoadPC: 0x1000}
+func (f *fixedPF) AppendTick(dst []prefetch.Request, _ uint64) []prefetch.Request {
+	for _, a := range f.addrs {
+		dst = append(dst, prefetch.Request{Addr: a, LoadPC: 0x1000})
 	}
-	return out
+	return dst
 }
 
 func TestHaltedCoreCycleIsNoop(t *testing.T) {

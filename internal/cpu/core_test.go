@@ -365,11 +365,14 @@ type hookRecorder struct {
 	decodes, commits, accesses, ticks, execs int
 }
 
-func (h *hookRecorder) Name() string                          { return "recorder" }
-func (h *hookRecorder) OnDecode(prefetch.DecodeInfo)          { h.decodes++ }
-func (h *hookRecorder) OnCommit(prefetch.CommitInfo)          { h.commits++ }
-func (h *hookRecorder) OnAccess(prefetch.AccessInfo)          { h.accesses++ }
-func (h *hookRecorder) Tick(uint64) []prefetch.Request        { h.ticks++; return nil }
+func (h *hookRecorder) Name() string                 { return "recorder" }
+func (h *hookRecorder) OnDecode(prefetch.DecodeInfo) { h.decodes++ }
+func (h *hookRecorder) OnCommit(prefetch.CommitInfo) { h.commits++ }
+func (h *hookRecorder) OnAccess(prefetch.AccessInfo) { h.accesses++ }
+func (h *hookRecorder) AppendTick(dst []prefetch.Request, _ uint64) []prefetch.Request {
+	h.ticks++
+	return dst
+}
 func (h *hookRecorder) OnExec(isa.Reg, int64, uint64, uint64) { h.execs++ }
 
 // --- Randomized differential testing -----------------------------------

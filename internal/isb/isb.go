@@ -129,8 +129,19 @@ func sameStream(a, b uint64, streamLen int) bool {
 	return a/uint64(streamLen) == b/uint64(streamLen)
 }
 
-// Tick drains the prefetch queue.
-func (p *ISB) Tick(now uint64) []prefetch.Request { return p.queue.PopCycle() }
+// AppendTick drains the prefetch queue.
+func (p *ISB) AppendTick(dst []prefetch.Request, now uint64) []prefetch.Request {
+	return p.queue.AppendPop(dst)
+}
+
+// Idle reports whether the queue is drained.
+func (p *ISB) Idle() bool { return p.queue.Len() == 0 }
+
+// ResetStats zeroes the measurement counters.
+func (p *ISB) ResetStats() {
+	p.TrainedPairs, p.MetaOverflows = 0, 0
+	p.queue.ResetStats()
+}
 
 // StorageBits reports the meta-data footprint: each mapping costs a
 // structural and a physical block address (~42 bits each) in both tables.

@@ -10,7 +10,7 @@ import (
 func drain(p *ISB, cycles int) []prefetch.Request {
 	var all []prefetch.Request
 	for i := 0; i < cycles; i++ {
-		all = append(all, p.Tick(uint64(i))...)
+		all = p.AppendTick(all, uint64(i))
 	}
 	return all
 }

@@ -52,7 +52,8 @@ type Request struct {
 
 // Prefetcher is the contract between a core and its prefetch engine. A
 // miss-driven prefetcher typically only uses OnAccess; B-Fetch uses the
-// decode and commit streams and a per-cycle Tick for its lookahead pipeline.
+// decode and commit streams and a per-cycle AppendTick for its lookahead
+// pipeline.
 type Prefetcher interface {
 	Name() string
 
@@ -68,29 +69,49 @@ type Prefetcher interface {
 	PrefetchUseful(loadPC, blockAddr uint64)
 	PrefetchUseless(loadPC, blockAddr uint64)
 
-	// Tick advances one cycle and returns the requests to issue this cycle.
-	// The returned slice is valid until the next call.
-	Tick(now uint64) []Request
+	// AppendTick advances one cycle, appends the requests to issue this
+	// cycle to dst, and returns the extended slice. The caller owns dst and
+	// reuses it across cycles, so implementations must not retain it; the
+	// append-style contract keeps the per-cycle path allocation-free.
+	AppendTick(dst []Request, now uint64) []Request
+
+	// Idle reports whether the engine is quiescent: AppendTick would do no
+	// work and emit no requests this cycle or any future cycle until one of
+	// the On* hooks delivers new input. The simulation loop uses it to skip
+	// dead cycles, so a correct implementation must return false whenever
+	// any internal pipeline stage, sampling latch, or queue holds work.
+	// When in doubt return false — that only disables the optimization.
+	Idle() bool
+
+	// ResetStats zeroes measurement counters (after warmup) without
+	// touching learned state.
+	ResetStats()
 
 	// StorageBits reports the hardware state the prefetcher would occupy.
 	StorageBits() int
 }
 
-// Base provides no-op hook implementations for embedding.
+// Base provides no-op hook implementations for embedding. Its Idle reports
+// false — the conservative answer that keeps cycle skipping correct for
+// custom engines that buffer work; implementations with visible quiescence
+// should override it.
 type Base struct{}
 
-func (Base) OnDecode(DecodeInfo)            {}
-func (Base) OnCommit(CommitInfo)            {}
-func (Base) OnAccess(AccessInfo)            {}
-func (Base) PrefetchUseful(uint64, uint64)  {}
-func (Base) PrefetchUseless(uint64, uint64) {}
-func (Base) Tick(uint64) []Request          { return nil }
-func (Base) StorageBits() int               { return 0 }
+func (Base) OnDecode(DecodeInfo)                          {}
+func (Base) OnCommit(CommitInfo)                          {}
+func (Base) OnAccess(AccessInfo)                          {}
+func (Base) PrefetchUseful(uint64, uint64)                {}
+func (Base) PrefetchUseless(uint64, uint64)               {}
+func (Base) AppendTick(dst []Request, _ uint64) []Request { return dst }
+func (Base) Idle() bool                                   { return false }
+func (Base) ResetStats()                                  {}
+func (Base) StorageBits() int                             { return 0 }
 
-// None is the null prefetcher (the paper's baseline).
+// None is the null prefetcher (the paper's baseline). It is always idle.
 type None struct{ Base }
 
 func (None) Name() string { return "none" }
+func (None) Idle() bool   { return true }
 
 // Queue is the bounded prefetch request queue every engine drains through.
 // It deduplicates by block address against its own contents and issues a
@@ -134,23 +155,30 @@ func (q *Queue) Push(r Request) {
 	q.Enqueued++
 }
 
-// PopCycle removes and returns up to the per-cycle issue limit.
-func (q *Queue) PopCycle() []Request {
+// AppendPop removes up to the per-cycle issue limit, appending the popped
+// requests to dst and returning the extended slice. It never allocates once
+// dst has capacity for the per-cycle limit.
+func (q *Queue) AppendPop(dst []Request) []Request {
 	n := q.perCycle
 	if n > len(q.buf) {
 		n = len(q.buf)
 	}
-	if n == 0 {
-		return nil
-	}
-	out := make([]Request, n)
-	copy(out, q.buf[:n])
-	q.buf = q.buf[:copy(q.buf, q.buf[n:])]
-	for _, r := range out {
+	for _, r := range q.buf[:n] {
 		delete(q.inQ, r.Addr>>6)
+		dst = append(dst, r)
 	}
-	return out
+	q.buf = q.buf[:copy(q.buf, q.buf[n:])]
+	return dst
 }
+
+// PopCycle removes and returns up to the per-cycle issue limit. Allocating
+// convenience over AppendPop (tests and diagnostics); hot paths use
+// AppendPop with a reused buffer.
+func (q *Queue) PopCycle() []Request { return q.AppendPop(nil) }
+
+// ResetStats zeroes the queue's traffic counters without touching pending
+// requests.
+func (q *Queue) ResetStats() { q.Enqueued, q.DroppedFull, q.DroppedDup = 0, 0, 0 }
 
 // Len returns the number of pending requests.
 func (q *Queue) Len() int { return len(q.buf) }

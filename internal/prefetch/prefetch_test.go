@@ -8,7 +8,7 @@ import (
 func drain(p Prefetcher, cycles int) []Request {
 	var all []Request
 	for i := 0; i < cycles; i++ {
-		all = append(all, p.Tick(uint64(i))...)
+		all = p.AppendTick(all, uint64(i))
 	}
 	return all
 }
@@ -175,8 +175,11 @@ func TestNoneIsSilent(t *testing.T) {
 	p.OnAccess(AccessInfo{Addr: 1})
 	p.OnDecode(DecodeInfo{})
 	p.OnCommit(CommitInfo{})
-	if p.Tick(0) != nil || p.StorageBits() != 0 || p.Name() != "none" {
+	if p.AppendTick(nil, 0) != nil || p.StorageBits() != 0 || p.Name() != "none" {
 		t.Error("None is not a no-op")
+	}
+	if !p.Idle() {
+		t.Error("None should always be idle")
 	}
 }
 

@@ -104,8 +104,14 @@ func (s *Stride) OnAccess(a AccessInfo) {
 	}
 }
 
-// Tick drains the queue.
-func (s *Stride) Tick(now uint64) []Request { return s.queue.PopCycle() }
+// AppendTick drains the queue.
+func (s *Stride) AppendTick(dst []Request, now uint64) []Request { return s.queue.AppendPop(dst) }
+
+// Idle reports whether the queue is drained.
+func (s *Stride) Idle() bool { return s.queue.Len() == 0 }
+
+// ResetStats zeroes the queue counters.
+func (s *Stride) ResetStats() { s.queue.ResetStats() }
 
 // StorageBits: each entry holds a tag (32 bits of PC), last address
 // (42-bit block-aligned + offset ⇒ 48), stride (16) and 2-bit state.
@@ -140,6 +146,12 @@ func (p *NextN) OnAccess(a AccessInfo) {
 	}
 }
 
-func (p *NextN) Tick(now uint64) []Request { return p.queue.PopCycle() }
+func (p *NextN) AppendTick(dst []Request, now uint64) []Request { return p.queue.AppendPop(dst) }
+
+// Idle reports whether the queue is drained.
+func (p *NextN) Idle() bool { return p.queue.Len() == 0 }
+
+// ResetStats zeroes the queue counters.
+func (p *NextN) ResetStats() { p.queue.ResetStats() }
 
 func (p *NextN) StorageBits() int { return p.queue.StorageBits() }

@@ -52,6 +52,13 @@ type Stats struct {
 	Hits   uint64 // jobs answered from the cache (or coalesced in flight)
 	Misses uint64 // cacheable jobs that had to simulate
 	Runs   uint64 // simulations actually executed (misses + uncacheable)
+
+	// Simulation throughput accounting, summed over executed runs (cache
+	// hits contribute nothing — no simulation happened). Cycles and
+	// instructions cover the measured window of every core.
+	SimCycles uint64        // core-cycles simulated
+	SimInsts  uint64        // instructions committed
+	SimTime   time.Duration // wall time spent inside sim.Run
 }
 
 // Engine schedules simulation jobs over a bounded worker pool and memoizes
@@ -69,7 +76,9 @@ type Engine struct {
 	mu      sync.Mutex
 	entries map[string]*entry
 
-	hits, misses, runs atomic.Uint64
+	hits, misses, runs  atomic.Uint64
+	simCycles, simInsts atomic.Uint64
+	simNanos            atomic.Int64
 }
 
 // entry is one memoized simulation point; done closes once res/err are set,
@@ -117,9 +126,13 @@ func (e *Engine) SetLog(w io.Writer) {
 	e.logMu.Unlock()
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache and throughput counters.
 func (e *Engine) Stats() Stats {
-	return Stats{Hits: e.hits.Load(), Misses: e.misses.Load(), Runs: e.runs.Load()}
+	return Stats{
+		Hits: e.hits.Load(), Misses: e.misses.Load(), Runs: e.runs.Load(),
+		SimCycles: e.simCycles.Load(), SimInsts: e.simInsts.Load(),
+		SimTime: time.Duration(e.simNanos.Load()),
+	}
 }
 
 // Run executes one job (through the cache).
@@ -217,9 +230,20 @@ func (e *Engine) runJob(j Job) Outcome {
 func (e *Engine) execute(j Job) Outcome {
 	start := time.Now()
 	res, err := sim.Run(j.Cfg, j.Apps, j.Opts)
+	elapsed := time.Since(start)
 	e.runs.Add(1)
+	e.simNanos.Add(int64(elapsed))
+	if err == nil {
+		var cycles, insts uint64
+		for _, cs := range res.Core {
+			cycles += cs.Cycles
+			insts += cs.Committed
+		}
+		e.simCycles.Add(cycles)
+		e.simInsts.Add(insts)
+	}
 	e.logf("runner: %-8s %v done in %s", j.Cfg.Prefetcher, j.Apps,
-		time.Since(start).Round(time.Millisecond))
+		elapsed.Round(time.Millisecond))
 	return Outcome{Result: res, Err: err}
 }
 

@@ -1,0 +1,30 @@
+package sim
+
+import "testing"
+
+// BenchmarkSimMemoryBound runs a full warmup+measure protocol on mcf — a
+// pointer chase that spends most of its cycles stalled on DRAM — under both
+// clock strategies. The ratio naive/event is the event-driven loop's whole
+// point: stall cycles dominate, and the event loop skips them.
+func BenchmarkSimMemoryBound(b *testing.B) {
+	opts := RunOpts{WarmupInsts: 5_000, MeasureInsts: 25_000}
+	for _, mode := range []struct {
+		name string
+		loop LoopMode
+	}{{"naive", LoopNaive}, {"event", LoopEvent}} {
+		b.Run(mode.name, func(b *testing.B) {
+			o := opts
+			o.Loop = mode.loop
+			b.ReportAllocs()
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				res, err := RunSolo(Default(PFNone), "mcf", o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Cycles
+			}
+			b.ReportMetric(float64(cycles)/1e3/float64(b.Elapsed().Seconds())/1e3, "Msimcycles/s")
+		})
+	}
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/isb"
+	"repro/internal/sms"
+	"repro/internal/stems"
+	"repro/internal/workload"
+)
+
+// eqOpts is small enough to run every prefetcher twice but long enough to
+// exercise warmup, ResetStats, squashes, and DRAM contention.
+var eqOpts = RunOpts{WarmupInsts: 10_000, MeasureInsts: 40_000}
+
+func runWithLoop(t *testing.T, cfg Config, apps []string, opts RunOpts, mode LoopMode) (Result, error) {
+	t.Helper()
+	opts.Loop = mode
+	return Run(cfg, apps, opts)
+}
+
+// TestLoopEquivalence is the event-driven clock's contract: for every
+// prefetcher kind — the paper's four, both heavy-weight extensions, and a
+// multi-programmed CMP mix — the skipping loop must reproduce the naive
+// loop's Result snapshot bit for bit.
+func TestLoopEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		apps []string
+	}{
+		{"none", Default(PFNone), []string{"libquantum"}},
+		{"stride", Default(PFStride), []string{"libquantum"}},
+		{"sms", Default(PFSMS), []string{"milc"}},
+		{"bfetch", Default(PFBFetch), []string{"libquantum"}},
+		{"isb", Default(PFISB), []string{"mcf"}},
+		{"stems", Default(PFSTeMS), []string{"milc"}},
+		{"cmp-mix", Default(PFBFetch), []string{"libquantum", "mcf", "milc", "gamess"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			naive, errN := runWithLoop(t, tc.cfg, tc.apps, eqOpts, LoopNaive)
+			event, errE := runWithLoop(t, tc.cfg, tc.apps, eqOpts, LoopEvent)
+			if (errN == nil) != (errE == nil) {
+				t.Fatalf("error mismatch: naive %v, event %v", errN, errE)
+			}
+			if errN != nil {
+				t.Fatalf("run failed: %v", errN)
+			}
+			if !reflect.DeepEqual(naive, event) {
+				t.Errorf("snapshots diverge\nnaive: %+v\nevent: %+v", naive, event)
+			}
+		})
+	}
+}
+
+// TestLoopEquivalenceOnError checks the cycle-bound path: when a run cannot
+// reach its instruction budget, both loops must fail with the same error and
+// identical partial counters.
+func TestLoopEquivalenceOnError(t *testing.T) {
+	run := func(mode LoopMode) (Result, error) {
+		s, err := buildSystem(Default(PFNone), []string{"libquantum"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Loop = mode
+		err = s.Run(1<<40, 50_000) // unreachable budget: must hit the bound
+		return s.Snapshot(), err
+	}
+
+	naive, errN := run(LoopNaive)
+	event, errE := run(LoopEvent)
+	if errN == nil || errE == nil {
+		t.Fatalf("expected both loops to hit the cycle bound (naive %v, event %v)", errN, errE)
+	}
+	if errN.Error() != errE.Error() {
+		t.Errorf("error text diverges:\nnaive: %v\nevent: %v", errN, errE)
+	}
+	if !reflect.DeepEqual(naive, event) {
+		t.Errorf("partial snapshots diverge\nnaive: %+v\nevent: %+v", naive, event)
+	}
+}
+
+func buildSystem(cfg Config, appNames []string) (*System, error) {
+	apps := make([]workload.Workload, len(appNames))
+	for i, name := range appNames {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		apps[i] = w
+	}
+	cfg.Cores = len(apps)
+	return New(cfg, apps)
+}
+
+// TestResetStatsZeroesEverything audits the warmup/measure boundary: after
+// ResetStats, a Snapshot must carry no trace of the warmup phase — core,
+// cache, DRAM, clock, and prefetcher-internal counters included.
+func TestResetStatsZeroesEverything(t *testing.T) {
+	kinds := []PrefetcherKind{PFNone, PFStride, PFSMS, PFBFetch, PFISB, PFSTeMS}
+	for _, kind := range kinds {
+		t.Run(string(kind), func(t *testing.T) {
+			s, err := buildSystem(Default(kind), []string{"libquantum"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Run(20_000, 20_000_000); err != nil {
+				t.Fatal(err)
+			}
+			s.ResetStats()
+			res := s.Snapshot()
+
+			if res.Cycles != 0 {
+				t.Errorf("Cycles = %d after reset", res.Cycles)
+			}
+			if res.Core[0] != (cpu.Stats{}) {
+				t.Errorf("core stats survive reset: %+v", res.Core[0])
+			}
+			if res.L1D[0] != (cache.Stats{}) {
+				t.Errorf("L1D stats survive reset: %+v", res.L1D[0])
+			}
+			if res.LLC != (cache.Stats{}) {
+				t.Errorf("LLC stats survive reset: %+v", res.LLC)
+			}
+			d := res.DRAM
+			if d.DemandFills != 0 || d.PrefetchFills != 0 || d.Writebacks != 0 || d.StallCycles != 0 {
+				t.Errorf("DRAM traffic survives reset: %+v", d)
+			}
+			if bp := s.Cores[0].Predictor(); bp.Lookups != 0 || bp.Mispredicts != 0 {
+				t.Errorf("predictor counters survive reset: %d/%d", bp.Lookups, bp.Mispredicts)
+			}
+
+			// Prefetcher-internal counters must reset too — each kind keeps
+			// its own training/coverage statistics.
+			switch pf := s.PFs[0].(type) {
+			case *core.BFetch:
+				if pf.Stats != (core.Stats{}) {
+					t.Errorf("bfetch stats survive reset: %+v", pf.Stats)
+				}
+			case *sms.SMS:
+				if pf.Generations != 0 || pf.PHTHits != 0 {
+					t.Errorf("sms stats survive reset: %d/%d", pf.Generations, pf.PHTHits)
+				}
+			case *isb.ISB:
+				if pf.TrainedPairs != 0 || pf.MetaOverflows != 0 {
+					t.Errorf("isb stats survive reset: %d/%d", pf.TrainedPairs, pf.MetaOverflows)
+				}
+			case *stems.STeMS:
+				if pf.TemporalHits != 0 || pf.Generations != 0 {
+					t.Errorf("stems stats survive reset: %d/%d", pf.TemporalHits, pf.Generations)
+				}
+			}
+		})
+	}
+}

@@ -80,13 +80,56 @@ func Default(pf PrefetcherKind) Config {
 		Confidence: branch.DefaultConfidenceConfig(),
 
 		DRAMCyclesPerFill: 16,
-		Prefetcher: pf,
-		BFetch:     core.DefaultConfig(),
-		SMS:        sms.DefaultConfig(),
-		Stride:     prefetch.DefaultStrideConfig(),
-		NextN:      4,
-		ISB:        isb.DefaultConfig(),
-		STeMS:      stems.DefaultConfig(),
+		Prefetcher:        pf,
+		BFetch:            core.DefaultConfig(),
+		SMS:               sms.DefaultConfig(),
+		Stride:            prefetch.DefaultStrideConfig(),
+		NextN:             4,
+		ISB:               isb.DefaultConfig(),
+		STeMS:             stems.DefaultConfig(),
+	}
+}
+
+// LoopMode selects how System.Run advances the shared clock.
+type LoopMode uint8
+
+const (
+	// LoopAuto defers to DefaultLoop.
+	LoopAuto LoopMode = iota
+	// LoopEvent advances the clock to the earliest next event across cores,
+	// skipping cycles in which no core would do any work. Produces
+	// bit-identical statistics to LoopNaive (see TestLoopEquivalence).
+	LoopEvent
+	// LoopNaive ticks every core every cycle — the reference loop, kept as
+	// an escape hatch and as the equivalence-test oracle.
+	LoopNaive
+)
+
+// DefaultLoop is the clock strategy used when a System's Loop is LoopAuto.
+var DefaultLoop = LoopEvent
+
+// ParseLoopMode maps a -simloop flag value to a LoopMode.
+func ParseLoopMode(s string) (LoopMode, error) {
+	switch s {
+	case "", "auto":
+		return LoopAuto, nil
+	case "event":
+		return LoopEvent, nil
+	case "naive":
+		return LoopNaive, nil
+	}
+	return LoopAuto, fmt.Errorf("sim: unknown loop mode %q (want auto, event, or naive)", s)
+}
+
+// String implements fmt.Stringer for flag help and logs.
+func (m LoopMode) String() string {
+	switch m {
+	case LoopEvent:
+		return "event"
+	case LoopNaive:
+		return "naive"
+	default:
+		return "auto"
 	}
 }
 
@@ -99,7 +142,11 @@ type System struct {
 	LLC   *cache.Cache
 	DRAM  *cache.DRAM
 
-	clock uint64
+	// Loop selects the clock-advance strategy; LoopAuto means DefaultLoop.
+	Loop LoopMode
+
+	clock     uint64
+	statsBase uint64 // clock value at the last ResetStats
 }
 
 // New builds a system running the given applications, one per core.
@@ -175,12 +222,28 @@ func (f feedbackAdapter) PrefetchUseless(loadPC, blockAddr uint64) {
 // instructions (or halted), erroring out at the cycle bound or on an
 // architectural fault. Cores that reach their budget stop cycling, matching
 // the paper's run-until-all-done methodology.
+//
+// The clock strategy is governed by Loop (default: event-driven skipping);
+// both strategies produce bit-identical statistics and errors.
 func (s *System) Run(instsPerCore, maxCycles uint64) error {
 	target := make([]uint64, len(s.Cores))
 	for i, c := range s.Cores {
 		target[i] = c.Stats.Committed + instsPerCore
 	}
 	limit := s.clock + maxCycles
+	mode := s.Loop
+	if mode == LoopAuto {
+		mode = DefaultLoop
+	}
+	if mode == LoopNaive {
+		return s.runNaive(target, limit, instsPerCore, maxCycles)
+	}
+	return s.runEvent(target, limit, instsPerCore, maxCycles)
+}
+
+// runNaive is the reference loop: every still-running core is ticked every
+// cycle, whether or not it can make progress.
+func (s *System) runNaive(target []uint64, limit, instsPerCore, maxCycles uint64) error {
 	for {
 		active := false
 		for i, c := range s.Cores {
@@ -207,8 +270,81 @@ func (s *System) Run(instsPerCore, maxCycles uint64) error {
 	}
 }
 
+// runEvent advances the clock directly to the earliest cycle at which any
+// core can do work, crediting skipped cycles to each still-running core's
+// cycle counter — exactly what the naive loop's empty ticks would have done.
+// Stall-heavy (memory-bound) workloads spend most of their wall-clock in
+// those empty ticks, so this is where the simulator's throughput comes from.
+func (s *System) runEvent(target []uint64, limit, instsPerCore, maxCycles uint64) error {
+	for {
+		active := false
+		for i, c := range s.Cores {
+			if c.Halted() {
+				if err := c.Err(); err != nil {
+					return fmt.Errorf("sim: core %d: %w", i, err)
+				}
+				continue
+			}
+			if c.Stats.Committed >= target[i] {
+				continue
+			}
+			active = true
+			c.Cycle(s.clock)
+		}
+		if !active {
+			return nil
+		}
+		executed := s.clock
+		s.clock++
+		if s.clock >= limit {
+			return fmt.Errorf("sim: exceeded %d cycles before reaching %d instructions/core",
+				maxCycles, instsPerCore)
+		}
+		// Find the earliest cycle at which any still-running core has work.
+		// A core that halted or met its target this very cycle no longer
+		// ticks in the naive loop either, so it contributes no event and
+		// collects no idle cycles.
+		next := uint64(cpu.NoEvent)
+		running := false
+		for i, c := range s.Cores {
+			if c.Halted() || c.Stats.Committed >= target[i] {
+				continue
+			}
+			running = true
+			if ne := c.NextEvent(executed); ne < next {
+				next = ne
+			}
+		}
+		if !running {
+			continue // every core finished this cycle; the loop top returns
+		}
+		if next <= s.clock {
+			continue // work next cycle; nothing to skip
+		}
+		// All remaining cores are idle until next (NoEvent: deadlocked short
+		// of a halt — the naive loop would spin to the bound, so jump there).
+		if next > limit {
+			next = limit
+		}
+		idle := next - s.clock
+		for i, c := range s.Cores {
+			if c.Halted() || c.Stats.Committed >= target[i] {
+				continue
+			}
+			c.AddIdleCycles(idle)
+		}
+		s.clock = next
+		if s.clock >= limit {
+			return fmt.Errorf("sim: exceeded %d cycles before reaching %d instructions/core",
+				maxCycles, instsPerCore)
+		}
+	}
+}
+
 // ResetStats zeroes all measurement counters (after warmup) without touching
-// learned microarchitectural state.
+// learned microarchitectural state. This includes each prefetcher's internal
+// counters (training/coverage stats), so post-warmup snapshots describe the
+// measurement window only.
 func (s *System) ResetStats() {
 	for _, c := range s.Cores {
 		c.Stats = cpu.Stats{}
@@ -217,8 +353,12 @@ func (s *System) ResetStats() {
 		bp := c.Predictor()
 		bp.Lookups, bp.Mispredicts = 0, 0
 	}
+	for _, pf := range s.PFs {
+		pf.ResetStats()
+	}
 	s.LLC.Stats = cache.Stats{}
 	*s.DRAM = cache.DRAM{Latency: s.DRAM.Latency, CyclesPerFill: s.DRAM.CyclesPerFill}
+	s.statsBase = s.clock
 }
 
 // Result summarises a measured run.
@@ -231,9 +371,10 @@ type Result struct {
 	Cycles uint64
 }
 
-// Snapshot collects the current counters.
+// Snapshot collects the current counters. Cycles is relative to the last
+// ResetStats, matching every other counter's measurement window.
 func (s *System) Snapshot() Result {
-	res := Result{LLC: s.LLC.Stats, DRAM: *s.DRAM, Cycles: s.clock}
+	res := Result{LLC: s.LLC.Stats, DRAM: *s.DRAM, Cycles: s.clock - s.statsBase}
 	for _, c := range s.Cores {
 		res.IPC = append(res.IPC, c.Stats.IPC())
 		res.Core = append(res.Core, c.Stats)
@@ -250,6 +391,8 @@ type RunOpts struct {
 	// CyclesPerInst bounds runtime: the run aborts after
 	// (Warmup+Measure)×CyclesPerInst cycles. Zero means 1000.
 	CyclesPerInst uint64
+	// Loop selects the clock-advance strategy (LoopAuto → DefaultLoop).
+	Loop LoopMode
 }
 
 // DefaultRunOpts is the measurement protocol used by the experiments, a
@@ -275,6 +418,7 @@ func Run(cfg Config, appNames []string, opts RunOpts) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	s.Loop = opts.Loop
 	cpi := opts.CyclesPerInst
 	if cpi == 0 {
 		cpi = 1000

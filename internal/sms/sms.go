@@ -150,8 +150,19 @@ func (s *SMS) train(e *agtEntry) {
 	s.pht[s.phtIdx(e.triggerPC, e.triggerOff)] = e.pattern
 }
 
-// Tick drains the prefetch queue.
-func (s *SMS) Tick(now uint64) []prefetch.Request { return s.queue.PopCycle() }
+// AppendTick drains the prefetch queue.
+func (s *SMS) AppendTick(dst []prefetch.Request, now uint64) []prefetch.Request {
+	return s.queue.AppendPop(dst)
+}
+
+// Idle reports whether the queue is drained.
+func (s *SMS) Idle() bool { return s.queue.Len() == 0 }
+
+// ResetStats zeroes the measurement counters.
+func (s *SMS) ResetStats() {
+	s.Generations, s.PHTHits = 0, 0
+	s.queue.ResetStats()
+}
 
 // StorageBits reports SMS hardware state: AGT entries hold a region tag
 // (34 bits), trigger PC (32), trigger offset (log2 blocks) and the pattern;

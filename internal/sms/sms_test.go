@@ -9,7 +9,7 @@ import (
 func drain(s *SMS, cycles int) []prefetch.Request {
 	var all []prefetch.Request
 	for i := 0; i < cycles; i++ {
-		all = append(all, s.Tick(uint64(i))...)
+		all = s.AppendTick(all, uint64(i))
 	}
 	return all
 }

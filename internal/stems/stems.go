@@ -211,8 +211,19 @@ func (s *STeMS) train(g *generation) {
 	s.pht[s.phtIdx(g.triggerPC, g.triggerOff)] = g.pattern
 }
 
-// Tick drains the prefetch queue.
-func (s *STeMS) Tick(now uint64) []prefetch.Request { return s.queue.PopCycle() }
+// AppendTick drains the prefetch queue.
+func (s *STeMS) AppendTick(dst []prefetch.Request, now uint64) []prefetch.Request {
+	return s.queue.AppendPop(dst)
+}
+
+// Idle reports whether the queue is drained.
+func (s *STeMS) Idle() bool { return s.queue.Len() == 0 }
+
+// ResetStats zeroes the measurement counters.
+func (s *STeMS) ResetStats() {
+	s.TemporalHits, s.Generations = 0, 0
+	s.queue.ResetStats()
+}
 
 // StorageBits reports total state including the temporal log the original
 // keeps off-chip: RMOB entries carry a PC (32), region address (34) and
