@@ -2,7 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test verify verify-full race bench bench-json clean
+.PHONY: all build test verify verify-full verify-race race bench bench-json clean
+
+# Packages exercising concurrency: the parallel experiment engine, the
+# copy-on-write memory forks, and shared-checkpoint restores.
+RACE_PKGS = ./internal/runner ./internal/harness ./internal/workload \
+	./internal/mem ./internal/ckpt
 
 all: build
 
@@ -19,19 +24,26 @@ verify: build test
 verify-full: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/runner ./internal/harness ./internal/workload
+	$(GO) test -race $(RACE_PKGS)
 
 race:
-	$(GO) test -race ./internal/runner ./internal/harness ./internal/workload
+	$(GO) test -race $(RACE_PKGS)
 
-# Hot-path microbenchmarks (BenchmarkCoreCycle must report 0 allocs/op).
+verify-race: race
+
+# Hot-path microbenchmarks (BenchmarkCoreCycle must report 0 allocs/op;
+# MemReadWrite/MemFork/Checkpoint guard the fast-forward machinery).
 bench:
 	$(GO) test -run xxx -bench 'CoreCycle|CacheAccess|BFetchTick|SimMemoryBound' \
 		-benchmem ./internal/cpu ./internal/cache ./internal/core ./internal/sim
+	$(GO) test -run xxx -bench 'MemReadWrite|MemFork|Checkpoint' \
+		-benchmem ./internal/mem ./internal/ckpt
 
-# Refresh the machine-readable simulation-throughput record.
+# Refresh the machine-readable simulation-throughput record. Four workers is
+# the recorded-baseline setting: parallel enough to exercise the caches,
+# small enough that per-experiment wall times stay comparable across hosts.
 bench-json:
-	$(GO) run ./cmd/bfetch-bench -exp all -q -benchjson BENCH_sim.json
+	$(GO) run ./cmd/bfetch-bench -exp all -q -benchjson BENCH_sim.json -j 4
 
 clean:
 	rm -rf results

@@ -40,7 +40,7 @@ type (
 	// Config describes a system under test (cores, caches, predictor,
 	// prefetcher); see DefaultConfig.
 	Config = sim.Config
-	// RunOpts sets the warmup/measure protocol.
+	// RunOpts sets the fast-forward/warmup/measure protocol.
 	RunOpts = sim.RunOpts
 	// Result carries the measured counters of a run.
 	Result = sim.Result
@@ -77,7 +77,9 @@ const (
 // prefetcher.
 func DefaultConfig(pf PrefetcherKind) Config { return sim.Default(pf) }
 
-// DefaultRunOpts returns the experiments' measurement protocol.
+// DefaultRunOpts returns the experiments' measurement protocol: 1M
+// instructions of functional fast-forward, 100k of cycle-accurate warmup,
+// 300k measured — the paper's 10B/1B/1B phases scaled to the kernels.
 func DefaultRunOpts() RunOpts { return sim.DefaultRunOpts() }
 
 // NewSystem assembles a system running the given workloads, one per core.

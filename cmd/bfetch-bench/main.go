@@ -45,6 +45,7 @@ func run() error {
 		expID      = flag.String("exp", "", "experiment id (fig1, fig3, fig7..fig15, tab1, tab2, ablation, or 'all')")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		outDir     = flag.String("out", "", "directory for CSV output (optional)")
+		ff         = flag.Uint64("ff", 1_000_000, "fast-forward instructions per core, emulated functionally (0 disables; each workload's prefix is checkpointed once and restored copy-on-write)")
 		warmup     = flag.Uint64("warmup", 100_000, "warmup instructions per core")
 		measure    = flag.Uint64("measure", 300_000, "measured instructions per core")
 		mixes      = flag.Int("mixes", 29, "number of multiprogrammed mixes")
@@ -91,7 +92,7 @@ func run() error {
 	}
 
 	params := harness.DefaultParams()
-	params.Opts = sim.RunOpts{WarmupInsts: *warmup, MeasureInsts: *measure, Loop: loop}
+	params.Opts = sim.RunOpts{FastForwardInsts: *ff, WarmupInsts: *warmup, MeasureInsts: *measure, Loop: loop}
 	params.Mixes = *mixes
 	params.Runner = eng
 	if *workloads != "" {
@@ -127,9 +128,10 @@ func run() error {
 		}
 		wall := time.Since(start)
 		st := eng.Stats()
-		fmt.Fprintf(os.Stderr, "%s finished in %s (%d sims run, cache: %d hits, %d misses)\n",
+		fmt.Fprintf(os.Stderr, "%s finished in %s (%d sims run, cache: %d hits, %d misses; ckpt: %d hits, %d misses)\n",
 			e.ID, wall.Round(time.Millisecond),
-			st.Runs-prev.Runs, st.Hits-prev.Hits, st.Misses-prev.Misses)
+			st.Runs-prev.Runs, st.Hits-prev.Hits, st.Misses-prev.Misses,
+			st.CkptHits-prev.CkptHits, st.CkptMisses-prev.CkptMisses)
 		bench.add(e.ID, wall, prev, st)
 		prev = st
 		for i, t := range tables {
@@ -151,8 +153,8 @@ func run() error {
 		}
 	}
 	if st := eng.Stats(); st.Hits > 0 || len(todo) > 1 {
-		fmt.Fprintf(os.Stderr, "total: %d sims run, cache: %d hits, %d misses\n",
-			st.Runs, st.Hits, st.Misses)
+		fmt.Fprintf(os.Stderr, "total: %d sims run, cache: %d hits, %d misses; ckpt: %d hits, %d misses; %d insts emulated\n",
+			st.Runs, st.Hits, st.Misses, st.CkptHits, st.CkptMisses, st.EmuInsts)
 	}
 	if *benchJSON != "" {
 		if err := bench.write(*benchJSON, eng.Stats()); err != nil {
@@ -189,22 +191,34 @@ type benchReport struct {
 // instructions are summed over the measured window of every simulated core,
 // and rates divide by the experiment's wall-clock time (so cache hits, which
 // simulate nothing, depress the rate of repeated runs — by design).
+// Emulator-driven experiments (fig3/fig7) report emu_insts instead of sim
+// counters; experiments that compute without executing anything (tab1/tab2)
+// are marked analytic, so no row is silently degenerate.
 type benchExp struct {
 	ID            string  `json:"id"`
 	WallSeconds   float64 `json:"wall_seconds"`
 	Sims          uint64  `json:"sims"`
 	CacheHits     uint64  `json:"cache_hits"`
+	CkptHits      uint64  `json:"ckpt_hits,omitempty"`
+	CkptMisses    uint64  `json:"ckpt_misses,omitempty"`
 	SimCycles     uint64  `json:"sim_cycles"`
 	SimInsts      uint64  `json:"sim_insts"`
+	EmuInsts      uint64  `json:"emu_insts,omitempty"`
 	KCyclesPerSec float64 `json:"sim_kcycles_per_sec"`
 	InstsPerSec   float64 `json:"committed_insts_per_sec"`
+	// Analytic marks experiments that derive their tables from configuration
+	// arithmetic alone (storage tables): no simulation, no emulation.
+	Analytic bool `json:"analytic,omitempty"`
 }
 
 type benchTotal struct {
 	WallSeconds   float64 `json:"wall_seconds"`
 	Sims          uint64  `json:"sims"`
+	CkptHits      uint64  `json:"ckpt_hits"`
+	CkptMisses    uint64  `json:"ckpt_misses"`
 	SimCycles     uint64  `json:"sim_cycles"`
 	SimInsts      uint64  `json:"sim_insts"`
+	EmuInsts      uint64  `json:"emu_insts"`
 	KCyclesPerSec float64 `json:"sim_kcycles_per_sec"`
 	InstsPerSec   float64 `json:"committed_insts_per_sec"`
 }
@@ -218,13 +232,17 @@ func (b *benchReport) add(id string, wall time.Duration, prev, st runner.Stats) 
 		WallSeconds: sec,
 		Sims:        st.Runs - prev.Runs,
 		CacheHits:   st.Hits - prev.Hits,
+		CkptHits:    st.CkptHits - prev.CkptHits,
+		CkptMisses:  st.CkptMisses - prev.CkptMisses,
 		SimCycles:   cycles,
 		SimInsts:    insts,
+		EmuInsts:    st.EmuInsts - prev.EmuInsts,
 	}
 	if sec > 0 {
 		exp.KCyclesPerSec = float64(cycles) / 1e3 / sec
 		exp.InstsPerSec = float64(insts) / sec
 	}
+	exp.Analytic = exp.Sims == 0 && exp.CacheHits == 0 && exp.EmuInsts == 0
 	b.Experiments = append(b.Experiments, exp)
 }
 
@@ -236,7 +254,9 @@ func (b *benchReport) write(path string, st runner.Stats) error {
 	}
 	total := benchTotal{
 		WallSeconds: wall, Sims: st.Runs,
+		CkptHits: st.CkptHits, CkptMisses: st.CkptMisses,
 		SimCycles: st.SimCycles, SimInsts: st.SimInsts,
+		EmuInsts: st.EmuInsts,
 	}
 	if wall > 0 {
 		total.KCyclesPerSec = float64(st.SimCycles) / 1e3 / wall

@@ -23,6 +23,7 @@ func main() {
 		apps    = flag.String("workloads", "mcf", "comma-separated workloads, one per core")
 		pf      = flag.String("pf", "bfetch", "prefetcher: none|stride|sms|bfetch|perfect|nextn")
 		width   = flag.Int("width", 4, "pipeline width")
+		ff      = flag.Uint64("ff", 0, "fast-forward instructions per core, emulated functionally before the cycle core boots")
 		warmup  = flag.Uint64("warmup", 100_000, "warmup instructions per core")
 		measure = flag.Uint64("measure", 300_000, "measured instructions per core")
 		conf    = flag.Float64("conf", 0.75, "B-Fetch path confidence threshold")
@@ -53,14 +54,16 @@ func main() {
 	cfg.BFetch.PathThreshold = *conf
 	names := strings.Split(*apps, ",")
 
-	res, err := sim.Run(cfg, names, sim.RunOpts{WarmupInsts: *warmup, MeasureInsts: *measure, Loop: loop})
+	res, err := sim.Run(cfg, names, sim.RunOpts{
+		FastForwardInsts: *ff, WarmupInsts: *warmup, MeasureInsts: *measure, Loop: loop,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bfetch-sim:", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("prefetcher=%s width=%d cores=%d warmup=%d measure=%d\n\n",
-		*pf, *width, len(names), *warmup, *measure)
+	fmt.Printf("prefetcher=%s width=%d cores=%d ff=%d warmup=%d measure=%d\n\n",
+		*pf, *width, len(names), *ff, *warmup, *measure)
 	for i, name := range names {
 		cs := res.Core[i]
 		l1 := res.L1D[i]

@@ -1,0 +1,89 @@
+// Package ckpt implements functional fast-forward checkpoints: the paper's
+// measurement protocol (§V-A) skips a 10 B-instruction prefix before its
+// warmup/measure window, and re-executing that shared prefix at
+// cycle-accurate cost for every simulation point is pure waste. A
+// Checkpoint captures the architectural state — registers, PC, retired
+// count, memory image — after running a workload's prefix once on the
+// functional emulator (internal/emu), and Restore boots any number of
+// cycle-accurate simulations from it.
+//
+// The memory image is frozen at capture (mem.Memory.Freeze), so Restore is
+// an O(1) copy-on-write fork: concurrent simulations restored from one
+// checkpoint share the image's footprint and privately copy only the pages
+// they write. Restore is safe to call from many goroutines at once.
+//
+// What a checkpoint deliberately does NOT capture: any microarchitectural
+// state. Caches, branch predictor, confidence estimator and prefetcher all
+// start cold at restore — warming them is the warmup phase's job, exactly
+// as in trace-based and checkpoint-based simulator methodology. That makes
+// a restored run bit-identical to fast-forwarding the same prefix inline on
+// the functional emulator immediately before the cycle simulation
+// (sim.Run's inline path; pinned by tests in internal/runner).
+package ckpt
+
+import (
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// Checkpoint is one workload's architectural state after a functional
+// fast-forward. Checkpoints are immutable once created and safe for
+// concurrent Restore.
+type Checkpoint struct {
+	// Workload is the kernel this checkpoint was captured from.
+	Workload string
+	// FFInsts is the requested fast-forward length. If the program halted
+	// early, Arch.Retired < FFInsts and Arch.Halted is true.
+	FFInsts uint64
+	// Arch is the captured architectural state.
+	Arch emu.Arch
+
+	prog  *isa.Program
+	image *mem.Memory // frozen; Restore forks it
+}
+
+// New builds the workload, executes ffInsts instructions on the functional
+// emulator, and captures the result. The workload's build must be
+// deterministic (the package's contract), so New is a pure function of
+// (workload, ffInsts): two checkpoints of the same point are
+// interchangeable.
+func New(w workload.Workload, ffInsts uint64) (*Checkpoint, error) {
+	prog, image := w.Build()
+	c := emu.New(prog, image)
+	if _, err := c.Run(ffInsts); err != nil {
+		return nil, fmt.Errorf("ckpt: fast-forward of %s after %d insts: %w", w.Name, c.Retired, err)
+	}
+	image.Freeze()
+	return &Checkpoint{
+		Workload: w.Name,
+		FFInsts:  ffInsts,
+		Arch:     c.Arch(),
+		prog:     prog,
+		image:    image,
+	}, nil
+}
+
+// ByName is New for a registered workload name.
+func ByName(name string, ffInsts uint64) (*Checkpoint, error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return New(w, ffInsts)
+}
+
+// Restore returns what a core needs to resume from the checkpoint: the
+// program (shared — it is read-only), a copy-on-write fork of the memory
+// image, and the architectural state. Each call returns an independent
+// fork; concurrent calls are safe.
+func (c *Checkpoint) Restore() (*isa.Program, *mem.Memory, emu.Arch) {
+	return c.prog, c.image.Fork(), c.Arch
+}
+
+// FootprintBytes reports the frozen image's resident size — the memory all
+// restored simulations share.
+func (c *Checkpoint) FootprintBytes() int { return c.image.FootprintBytes() }

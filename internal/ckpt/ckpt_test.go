@@ -1,0 +1,161 @@
+package ckpt
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+const testFF = 20_000
+
+// TestCheckpointMatchesInlineEmu pins the capture contract: the checkpoint's
+// architectural state and memory image must equal those of a fresh build
+// fast-forwarded inline, instruction for instruction.
+func TestCheckpointMatchesInlineEmu(t *testing.T) {
+	for _, name := range []string{"mcf", "libquantum", "gamess"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := New(w, testFF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp.Arch.Retired != testFF || cp.Arch.Halted {
+			t.Fatalf("%s: retired %d halted %v, want %d running", name, cp.Arch.Retired, cp.Arch.Halted, testFF)
+		}
+
+		prog, image := w.Build()
+		ref := emu.New(prog, image)
+		if _, err := ref.Run(testFF); err != nil {
+			t.Fatal(err)
+		}
+		_, fork, arch := cp.Restore()
+		if arch != ref.Arch() {
+			t.Errorf("%s: arch state diverges:\nckpt:   %+v\ninline: %+v", name, arch, ref.Arch())
+		}
+		if !mem.Equal(fork, image) {
+			t.Errorf("%s: restored image diverges from inline fast-forward", name)
+		}
+	}
+}
+
+// TestRestoreTwiceIdentical: restoring the same checkpoint twice must yield
+// identical, independent snapshots.
+func TestRestoreTwiceIdentical(t *testing.T) {
+	cp, err := ByName("milc", testFF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progA, memA, archA := cp.Restore()
+	progB, memB, archB := cp.Restore()
+	if progA != progB {
+		t.Error("restores should share the read-only program")
+	}
+	if archA != archB {
+		t.Errorf("arch states differ: %+v vs %+v", archA, archB)
+	}
+	if !mem.Equal(memA, memB) {
+		t.Error("restored images differ")
+	}
+	// ... and independent: a write in one fork is invisible in the other.
+	memA.Write64(0x40, 123456)
+	if memB.Read64(0x40) == 123456 {
+		t.Error("forks share writable state")
+	}
+	if !mem.Equal(memB, cp.image.Fork()) {
+		t.Error("second fork no longer matches the image after mutating the first")
+	}
+}
+
+// TestConcurrentRestore exercises many goroutines forking and mutating one
+// shared checkpoint at once — the exact pattern of parallel simulations
+// booted from a cached checkpoint. Run with -race (the ROADMAP race leg
+// covers this package).
+func TestConcurrentRestore(t *testing.T) {
+	cp, err := ByName("mcf", testFF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cp.image.Fork().Clone() // reference contents
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g uint64) {
+			defer wg.Done()
+			_, m, arch := cp.Restore()
+			if arch != cp.Arch {
+				t.Errorf("goroutine %d: arch mismatch", g)
+				return
+			}
+			// Run the emulator a little further on the fork: reads and COW
+			// writes against the shared frozen base, concurrently.
+			c := emu.New(cp.prog, m)
+			c.SetArch(arch)
+			if _, err := c.Run(5_000); err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if !mem.Equal(cp.image.Fork(), want) {
+		t.Error("concurrent restores mutated the frozen image")
+	}
+}
+
+// TestHaltedCheckpoint: fast-forwarding past a program's HALT is captured
+// faithfully (Halted true, Retired short of the request).
+func TestHaltedCheckpoint(t *testing.T) {
+	w := workload.New("tiny", "halts immediately", "compute", false, tinyBuild)
+	cp, err := New(w, testFF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cp.Arch.Halted {
+		t.Error("expected halted checkpoint")
+	}
+	if cp.Arch.Retired >= testFF {
+		t.Errorf("retired %d, want < %d", cp.Arch.Retired, testFF)
+	}
+}
+
+func BenchmarkCheckpointCreate(b *testing.B) {
+	w, err := workload.ByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(w, testFF); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpointRestore(b *testing.B) {
+	cp, err := ByName("mcf", testFF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, m, _ := cp.Restore()
+		m.Write64(0, uint64(i)) // one COW fault, as a real run would incur
+	}
+}
+
+// tinyBuild is a deterministic program that halts after a short loop.
+func tinyBuild() (*isa.Program, *mem.Memory) {
+	b := isa.NewBuilder()
+	b.Movi(isa.Reg(1), 100)
+	top := b.Here()
+	b.Addi(isa.Reg(1), isa.Reg(1), -1)
+	b.Bnez(isa.Reg(1), top)
+	b.Halt()
+	return b.MustProgram(), mem.New()
+}

@@ -172,6 +172,24 @@ func New(cfg Config, prog *isa.Program, m *mem.Memory, hier *cache.Hierarchy,
 	return c
 }
 
+// BootArch starts the core from a mid-program architectural state — a
+// fast-forward checkpoint captured by the functional emulator. Committed
+// registers and the fetch PC are installed; every microarchitectural
+// structure (caches, branch predictor, confidence estimator, prefetcher,
+// ROB) stays cold, exactly as after a checkpoint restore in gem5-style
+// methodology — warming those is the measurement protocol's job. It must be
+// called before the first Cycle; calling it later would desynchronize the
+// in-flight pipeline from the committed state.
+func (c *Core) BootArch(a emu.Arch) {
+	c.cregs = a.Regs
+	if a.PC >= 0 && a.PC < c.prog.Len() {
+		c.fetchPC = a.PC
+	} else {
+		c.fetchPC = -1
+	}
+	c.halted = a.Halted
+}
+
 // fqAt returns the i-th fetch-queue entry, oldest first. Ring indices stay
 // in [0, 2·len) so a conditional subtract replaces the much slower modulo.
 func (c *Core) fqAt(i int) *fqEntry {

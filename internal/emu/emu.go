@@ -48,6 +48,31 @@ func New(p *isa.Program, m *mem.Memory) *CPU {
 // ErrHalted is returned by Step once the program has executed HALT.
 var ErrHalted = errors.New("emu: cpu halted")
 
+// Arch is the architectural state of a functional core: everything needed
+// to resume execution mid-program, and nothing microarchitectural. It is
+// the unit of state a fast-forward checkpoint captures (internal/ckpt); the
+// out-of-order core can boot from it (cpu.Core.BootArch). The memory image
+// travels separately — Arch deliberately holds no reference to it, so one
+// Arch can pair with many copy-on-write forks of the same image.
+type Arch struct {
+	Regs    [isa.NumRegs]int64
+	PC      int // next instruction index
+	Halted  bool
+	Retired uint64
+}
+
+// Arch exports the CPU's current architectural state.
+func (c *CPU) Arch() Arch {
+	return Arch{Regs: c.Regs, PC: c.PC, Halted: c.Halted, Retired: c.Retired}
+}
+
+// SetArch overwrites the CPU's architectural state, resuming from a
+// checkpoint. The bound memory image must be the one that state was
+// captured against (or an equivalent fork) for execution to be meaningful.
+func (c *CPU) SetArch(a Arch) {
+	c.Regs, c.PC, c.Halted, c.Retired = a.Regs, a.PC, a.Halted, a.Retired
+}
+
 // Step executes one instruction. It returns ErrHalted after HALT and a
 // descriptive error on an invalid PC or indirect-jump target.
 func (c *CPU) Step() error {

