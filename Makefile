@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify verify-full verify-race race bench bench-json clean
+.PHONY: all build test vet lint verify verify-full verify-race race bench bench-json clean
 
 # Packages exercising concurrency: the parallel experiment engine, the
 # copy-on-write memory forks, and shared-checkpoint restores.
@@ -17,12 +17,22 @@ build:
 test:
 	$(GO) test ./...
 
-# Tier-1 verify (ROADMAP.md).
-verify: build test
-
-# Full pass: tier-1 plus vet and the race leg over the concurrent packages.
-verify-full: build
+vet:
 	$(GO) vet ./...
+
+# Custom static analysis (internal/lint): hot-path zero-allocation contract,
+# determinism rules for the measurement packages, stats-reset field audit.
+# Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/bfetch-lint
+
+# Tier-1 verify (ROADMAP.md).
+verify: build vet test
+
+# Full pass: tier-1 plus bfetch-lint and the race leg over the concurrent
+# packages.
+verify-full: build vet
+	$(GO) run ./cmd/bfetch-lint
 	$(GO) test ./...
 	$(GO) test -race $(RACE_PKGS)
 

@@ -1,0 +1,57 @@
+// Command bfetch-lint runs the repository's custom static-analysis suite
+// (internal/lint) over the module: the hotpath zero-allocation contract, the
+// determinism rules for the measurement packages, and the stats-reset field
+// audit. It prints findings compiler-style and exits non-zero when any
+// survive, so `make lint` and CI can gate on it.
+//
+// Usage:
+//
+//	bfetch-lint [-C dir] [-analyzer hotpath|determinism|statsreset]
+//
+// With no -C it lints the module containing the working directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	dir := flag.String("C", ".", "directory inside the module to lint")
+	only := flag.String("analyzer", "", "restrict to one analyzer (hotpath, determinism, statsreset)")
+	quiet := flag.Bool("q", false, "suppress the summary line")
+	flag.Parse()
+
+	root, err := lint.FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, lint.DefaultOptions())
+	if *only != "" {
+		kept := diags[:0]
+		for _, d := range diags {
+			if d.Analyzer == *only {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "bfetch-lint: %d package(s), %d finding(s)\n", len(pkgs), len(diags))
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

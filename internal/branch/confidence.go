@@ -101,7 +101,7 @@ func (c *Confidence) Update(pc uint64, ghr GHR, correct bool) {
 // lookahead when the product falls below its threshold (0.75 by default,
 // Table II).
 type PathConfidence struct {
-	Threshold float64
+	Threshold float64 //bfetch:noreset configuration, not a counter
 	product   float64
 	depth     int
 }

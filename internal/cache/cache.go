@@ -153,12 +153,15 @@ func (c *Cache) Ways() int { return c.ways }
 // cache bits" overhead accounting).
 func (c *Cache) Blocks() int { return c.sets * c.ways }
 
+//bfetch:hotpath
 func (c *Cache) setOf(blockAddr uint64) []block {
 	s := int(blockAddr & uint64(c.sets-1))
 	return c.data[s*c.ways : (s+1)*c.ways]
 }
 
 // lookup returns the way holding blockAddr, or nil.
+//
+//bfetch:hotpath
 func (c *Cache) lookup(blockAddr uint64) *block {
 	set := c.setOf(blockAddr)
 	for i := range set {
@@ -171,9 +174,13 @@ func (c *Cache) lookup(blockAddr uint64) *block {
 
 // Contains reports whether the block is present (used by prefetch-queue
 // dedup and tests); it does not touch LRU state.
+//
+//bfetch:hotpath
 func (c *Cache) Contains(blockAddr uint64) bool { return c.lookup(blockAddr) != nil }
 
 // victim returns the LRU way of the set, evicting its current contents.
+//
+//bfetch:hotpath
 func (c *Cache) victim(blockAddr uint64, now uint64) *block {
 	set := c.setOf(blockAddr)
 	v := &set[0]
@@ -192,6 +199,7 @@ func (c *Cache) victim(blockAddr uint64, now uint64) *block {
 	return v
 }
 
+//bfetch:hotpath
 func (c *Cache) evict(b *block, now uint64) {
 	c.Stats.Evictions++
 	if b.prefetched {
@@ -207,6 +215,8 @@ func (c *Cache) evict(b *block, now uint64) {
 }
 
 // writeback pushes a dirty block to the next level, off the critical path.
+//
+//bfetch:hotpath
 func (c *Cache) writeback(req Request, now uint64) {
 	if nc, ok := c.next.(*Cache); ok {
 		if b := nc.lookup(req.BlockAddr); b != nil {
@@ -223,6 +233,8 @@ func (c *Cache) writeback(req Request, now uint64) {
 }
 
 // Access services a request, returning its completion cycle.
+//
+//bfetch:hotpath
 func (c *Cache) Access(req Request, now uint64) uint64 {
 	c.Stats.Accesses++
 	if req.Kind == Write {

@@ -27,6 +27,8 @@ func NewDRAM() *DRAM {
 }
 
 // Access implements Level.
+//
+//bfetch:hotpath
 func (d *DRAM) Access(req Request, now uint64) uint64 {
 	start := now
 	if d.nextFree > start {
@@ -89,12 +91,16 @@ func NewHierarchy(cfg HierarchyConfig, shared Level, asid int) *Hierarchy {
 
 // extend tags a virtual byte address with the hierarchy's address-space ID.
 // Workload addresses stay far below 2^48, so the tag bits are free.
+//
+//bfetch:hotpath
 func (h *Hierarchy) extend(addr uint64) uint64 {
 	return (addr >> BlockBits) | (h.ASID << 50)
 }
 
 // Load issues a demand read for the block containing addr, returning its
 // completion cycle and whether it hit in the L1D.
+//
+//bfetch:hotpath
 func (h *Hierarchy) Load(addr uint64, now uint64) (uint64, bool) {
 	ba := h.extend(addr)
 	hit := h.L1D.Perfect || h.L1D.Contains(ba)
@@ -103,6 +109,8 @@ func (h *Hierarchy) Load(addr uint64, now uint64) (uint64, bool) {
 
 // Store issues a demand write (write-allocate) and returns its completion
 // cycle; the core treats stores as posted at commit.
+//
+//bfetch:hotpath
 func (h *Hierarchy) Store(addr uint64, now uint64) uint64 {
 	return h.L1D.Access(Request{BlockAddr: h.extend(addr), Kind: Write}, now)
 }
@@ -110,6 +118,8 @@ func (h *Hierarchy) Store(addr uint64, now uint64) uint64 {
 // Prefetch installs the block containing addr on behalf of loadPC. It
 // returns false if the block was already present in the L1D (the prefetch
 // was redundant and is dropped without touching lower levels).
+//
+//bfetch:hotpath
 func (h *Hierarchy) Prefetch(addr uint64, loadPC uint64, now uint64) bool {
 	ba := h.extend(addr)
 	if h.L1D.Contains(ba) {

@@ -143,29 +143,29 @@ func (la *lookahead) visit(h uint64) int {
 // BFetch is the prefetch engine. It implements prefetch.Prefetcher and
 // cpu.ExecObserver.
 type BFetch struct {
-	cfg  Config
-	bp   *branch.Predictor
-	conf *branch.Confidence
+	cfg  Config             //bfetch:noreset configuration
+	bp   *branch.Predictor  //bfetch:noreset shared predictor, owned by the core
+	conf *branch.Confidence //bfetch:noreset shared estimator, owned by the core
 
-	brtc   *brtc
-	mht    *mht
-	arf    *arf
-	filter *loadFilter
+	brtc   *brtc       //bfetch:noreset learned branch-trace state
+	mht    *mht        //bfetch:noreset learned memory-history state
+	arf    *arf        //bfetch:noreset speculative register samples in flight
+	filter *loadFilter //bfetch:noreset learned per-load confidence
 	queue  *prefetch.Queue
 
-	la       lookahead
-	dbr      prefetch.DecodeInfo // Decoded Branch Register: newest decoded branch
-	dbrValid bool
+	la       lookahead           //bfetch:noreset lookahead pipeline state in flight
+	dbr      prefetch.DecodeInfo //bfetch:noreset Decoded Branch Register: newest decoded branch
+	dbrValid bool                //bfetch:noreset pipeline latch, not a counter
 
 	// Commit-side learning state: the key of the basic block being
 	// committed, and the register values when its leading branch committed.
-	curKey   pathKey
-	haveKey  bool
-	snapshot [isa.NumRegs]int64
-	visitSeq uint64
+	curKey   pathKey            //bfetch:noreset commit-side learning state
+	haveKey  bool               //bfetch:noreset commit-side learning state
+	snapshot [isa.NumRegs]int64 //bfetch:noreset commit-side learning state
+	visitSeq uint64             //bfetch:noreset monotonic learning sequence, never rewinds
 
 	// commitGHR trains the private predictor copy, when configured.
-	commitGHR branch.GHR
+	commitGHR branch.GHR //bfetch:noreset learned history
 
 	Stats Stats
 }
@@ -274,6 +274,8 @@ func (b *BFetch) PrefetchUseless(loadPC uint64, _ uint64) { b.filter.useless(loa
 // AppendTick advances the prefetch pipeline one cycle: apply ARF samples,
 // walk one basic block of lookahead (generating that block's prefetches),
 // and drain the queue into dst.
+//
+//bfetch:hotpath
 func (b *BFetch) AppendTick(dst []prefetch.Request, now uint64) []prefetch.Request {
 	b.arf.tick(now)
 

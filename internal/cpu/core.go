@@ -192,6 +192,8 @@ func (c *Core) BootArch(a emu.Arch) {
 
 // fqAt returns the i-th fetch-queue entry, oldest first. Ring indices stay
 // in [0, 2·len) so a conditional subtract replaces the much slower modulo.
+//
+//bfetch:hotpath
 func (c *Core) fqAt(i int) *fqEntry {
 	j := c.fqHead + i
 	if j >= len(c.fq) {
@@ -201,6 +203,8 @@ func (c *Core) fqAt(i int) *fqEntry {
 }
 
 // sqAt returns the i-th store-queue ref, oldest first.
+//
+//bfetch:hotpath
 func (c *Core) sqAt(i int) ref {
 	j := c.sqHead + i
 	if j >= len(c.storeQ) {
@@ -226,6 +230,8 @@ func (c *Core) Predictor() *branch.Predictor { return c.bp }
 
 // Cycle advances the core by one clock. The caller owns the global clock so
 // multiple cores can share LLC and DRAM coherently.
+//
+//bfetch:hotpath
 func (c *Core) Cycle(now uint64) {
 	if c.halted {
 		return
@@ -242,6 +248,7 @@ func (c *Core) Cycle(now uint64) {
 	c.prefetchTick(now)
 }
 
+//bfetch:hotpath
 func (c *Core) entry(r ref) *robEntry {
 	e := &c.rob[r.slot]
 	if e.seq != r.seq || r.seq == 0 {
@@ -250,6 +257,7 @@ func (c *Core) entry(r ref) *robEntry {
 	return e
 }
 
+//bfetch:hotpath
 func (c *Core) tailSlot() int {
 	j := c.headSlot + c.count
 	if j >= len(c.rob) {
@@ -260,6 +268,7 @@ func (c *Core) tailSlot() int {
 
 // ---------------------------------------------------------------- commit --
 
+//bfetch:hotpath
 func (c *Core) commit(now uint64) {
 	for n := 0; n < c.cfg.Width && c.count > 0; n++ {
 		e := &c.rob[c.headSlot]
@@ -267,7 +276,9 @@ func (c *Core) commit(now uint64) {
 			return
 		}
 		if e.faulted {
-			c.err = fmt.Errorf("cpu: fault at pc %#x (%s)", e.pc, e.inst)
+			// Once-per-run termination path, never reached in steady state.
+			c.err = fmt.Errorf("cpu: fault at pc %#x (%s)", e.pc, e.inst) //bfetch:alloc-ok
+
 			c.halted = true
 			return
 		}
@@ -341,6 +352,7 @@ func (c *Core) commit(now uint64) {
 
 // -------------------------------------------------------------- complete --
 
+//bfetch:hotpath
 func (c *Core) complete(now uint64) {
 	// Collect finishing entries, oldest first, so a squash from an older
 	// branch naturally invalidates younger resolutions. The collection
@@ -369,6 +381,8 @@ func (c *Core) complete(now uint64) {
 }
 
 // finish applies completion effects: value broadcast and branch resolution.
+//
+//bfetch:hotpath
 func (c *Core) finish(e *robEntry, now uint64) {
 	in := e.inst
 	if in.HasDest() {
@@ -382,6 +396,7 @@ func (c *Core) finish(e *robEntry, now uint64) {
 	}
 }
 
+//bfetch:hotpath
 func (c *Core) broadcast(e *robEntry) {
 	for _, cr := range e.cons {
 		d := c.entry(cr.ref)
@@ -400,6 +415,8 @@ func (c *Core) broadcast(e *robEntry) {
 
 // recover squashes everything younger than the resolving control
 // instruction and redirects fetch.
+//
+//bfetch:hotpath
 func (c *Core) recover(e *robEntry, now uint64) {
 	for c.count > 0 {
 		ts := c.tailSlot() - 1
@@ -459,6 +476,8 @@ func (c *Core) recover(e *robEntry, now uint64) {
 }
 
 // filterState keeps refs whose entries are live and in the wanted state.
+//
+//bfetch:hotpath
 func (c *Core) filterState(refs []ref, want entryState) []ref {
 	out := refs[:0]
 	for _, r := range refs {
@@ -480,6 +499,7 @@ func opLatency(op isa.Op, mulLat uint64) uint64 {
 	}
 }
 
+//bfetch:hotpath
 func (c *Core) issue(now uint64) {
 	ports := c.cfg.CachePorts
 
@@ -525,6 +545,8 @@ func (c *Core) issue(now uint64) {
 }
 
 // execute starts one entry. Loads may divert to the pending list.
+//
+//bfetch:hotpath
 func (c *Core) execute(e *robEntry, now uint64, ports *int) {
 	in := e.inst
 	e.state = sIssued
@@ -574,6 +596,8 @@ func (c *Core) execute(e *robEntry, now uint64, ports *int) {
 
 // tryLoad attempts to send a load to memory; returns false if blocked by
 // disambiguation. A port must be available (checked by the caller).
+//
+//bfetch:hotpath
 func (c *Core) tryLoad(e *robEntry, now uint64) bool {
 	fwd, val, blocked := c.disambiguate(e)
 	if blocked {
@@ -602,6 +626,8 @@ func (c *Core) tryLoad(e *robEntry, now uint64) bool {
 // first. It returns forwarding data if the nearest older store to the exact
 // address has its data, or blocked if any intervening store address is
 // unknown or overlaps inexactly.
+//
+//bfetch:hotpath
 func (c *Core) disambiguate(e *robEntry) (fwd bool, val int64, blocked bool) {
 	for i := c.sqN - 1; i >= 0; i-- {
 		s := c.entry(c.sqAt(i))
@@ -627,6 +653,7 @@ func rangesOverlap(a, b uint64) bool {
 
 // -------------------------------------------------------------- dispatch --
 
+//bfetch:hotpath
 func (c *Core) dispatch(now uint64) {
 	for n := 0; n < c.cfg.Width; n++ {
 		if c.fqN == 0 || c.count == len(c.rob) {
@@ -733,6 +760,7 @@ func (c *Core) dispatch(now uint64) {
 
 // ----------------------------------------------------------------- fetch --
 
+//bfetch:hotpath
 func (c *Core) fetch(now uint64) {
 	if now < c.fetchResumeAt || c.fetchPC < 0 {
 		return
@@ -802,6 +830,7 @@ func (c *Core) fetch(now uint64) {
 
 // ------------------------------------------------------------- prefetch --
 
+//bfetch:hotpath
 func (c *Core) prefetchTick(now uint64) {
 	c.pfReqs = c.pf.AppendTick(c.pfReqs[:0], now)
 	for _, r := range c.pfReqs {
@@ -831,6 +860,8 @@ const NoEvent = ^uint64(0)
 // Each pipeline stage contributes its wake-up condition; anything that could
 // act on the very next cycle (ready entries, blocked loads retrying for a
 // port, a busy prefetch engine) pins the next event to now+1.
+//
+//bfetch:hotpath
 func (c *Core) NextEvent(now uint64) uint64 {
 	if c.halted {
 		return NoEvent

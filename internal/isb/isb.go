@@ -39,13 +39,13 @@ func DefaultConfig() Config {
 // ISB is the prefetcher.
 type ISB struct {
 	prefetch.Base
-	cfg Config
+	cfg Config //bfetch:noreset configuration
 
-	ps        map[uint64]uint64 // physical block → structural address
-	sp        map[uint64]uint64 // structural address → physical block
-	lastBlock map[uint64]uint64 // load PC → previous block (training unit)
+	ps        map[uint64]uint64 //bfetch:noreset physical block → structural address
+	sp        map[uint64]uint64 //bfetch:noreset structural address → physical block
+	lastBlock map[uint64]uint64 //bfetch:noreset load PC → previous block (training unit)
 
-	nextStream uint64
+	nextStream uint64 //bfetch:noreset structural address allocator, learned
 	queue      *prefetch.Queue
 
 	// Stats.
@@ -130,6 +130,8 @@ func sameStream(a, b uint64, streamLen int) bool {
 }
 
 // AppendTick drains the prefetch queue.
+//
+//bfetch:hotpath
 func (p *ISB) AppendTick(dst []prefetch.Request, now uint64) []prefetch.Request {
 	return p.queue.AppendPop(dst)
 }

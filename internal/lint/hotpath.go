@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// allocPkgs are stdlib packages whose exported calls allocate (formatting
+// machinery boxes arguments into []any; errors constructs heap values).
+var allocPkgs = map[string]bool{"fmt": true, "log": true, "errors": true, "strings": true}
+
+// Hotpath enforces the zero-allocation contract on functions annotated
+// //bfetch:hotpath: the per-cycle simulation kernel must run entirely on
+// persistent, reused buffers. Flagged constructs:
+//
+//   - make, new
+//   - slice and map composite literals (and composite literals of named
+//     types declared as slices/maps anywhere in the module)
+//   - &T{...} — an address-of composite literal escapes to the heap
+//     (plain value struct literals are allowed: they live on the stack)
+//   - append to a freshly allocated function-local slice (appending to a
+//     parameter or to a slice derived from a receiver field is the sanctioned
+//     scratch-buffer idiom and is allowed)
+//   - closures (func literals) and go statements
+//   - string concatenation and string/[]byte/[]rune conversions
+//   - calls into fmt/log/errors/strings, and calls to module functions
+//     declared with a variadic any parameter (argument boxing)
+//
+// //bfetch:alloc-ok on the same or preceding line suppresses one finding —
+// reserved for cold sub-paths (e.g. the once-per-run fault exit).
+func Hotpath(p *Package, idx *moduleIndex) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, "bfetch:hotpath") {
+				continue
+			}
+			h := &hotpathCheck{p: p, f: f, idx: idx, out: &out}
+			h.fresh = freshLocals(fd)
+			ast.Inspect(fd.Body, h.visit)
+		}
+	}
+	return out
+}
+
+type hotpathCheck struct {
+	p     *Package
+	f     *ast.File
+	idx   *moduleIndex
+	out   *[]Diagnostic
+	fresh map[string]bool // locals whose backing store is freshly allocated
+}
+
+func (h *hotpathCheck) report(pos token.Pos, format string, args ...any) {
+	h.p.report(h.out, h.f, pos, "hotpath", "bfetch:alloc-ok", format, args...)
+}
+
+func (h *hotpathCheck) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		h.report(n.Pos(), "closure allocates on the hot path")
+		return false // the literal itself is the finding; don't double-report its body
+	case *ast.GoStmt:
+		h.report(n.Pos(), "go statement allocates a goroutine on the hot path")
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := n.X.(*ast.CompositeLit); ok {
+				h.report(n.Pos(), "&composite literal escapes to the heap")
+				return false
+			}
+		}
+	case *ast.CompositeLit:
+		switch t := n.Type.(type) {
+		case *ast.ArrayType:
+			if t.Len == nil {
+				h.report(n.Pos(), "slice literal allocates")
+			}
+		case *ast.MapType:
+			h.report(n.Pos(), "map literal allocates")
+		case *ast.Ident:
+			if h.idx != nil && h.idx.sliceMapTypes[h.p.Rel+"|"+t.Name] {
+				h.report(n.Pos(), "composite literal of slice/map type %s allocates", t.Name)
+			}
+		case *ast.SelectorExpr:
+			if x, ok := t.X.(*ast.Ident); ok && h.idx != nil &&
+				h.idx.sliceMapTypes[x.Name+"."+t.Sel.Name] {
+				h.report(n.Pos(), "composite literal of slice/map type %s.%s allocates", x.Name, t.Sel.Name)
+			}
+		}
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && (isStringLit(n.X) || isStringLit(n.Y)) {
+			h.report(n.Pos(), "string concatenation allocates")
+		}
+	case *ast.CallExpr:
+		h.call(n)
+	}
+	return true
+}
+
+func (h *hotpathCheck) call(call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "make":
+			h.report(call.Pos(), "make allocates")
+		case "new":
+			h.report(call.Pos(), "new allocates")
+		case "append":
+			h.append(call)
+		case "string":
+			h.report(call.Pos(), "string conversion allocates")
+		default:
+			if h.idx != nil && h.idx.variadicAny[h.p.Rel+"|"+fun.Name] {
+				h.report(call.Pos(), "call to %s boxes arguments into ...any", fun.Name)
+			}
+		}
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			if allocPkgs[x.Name] {
+				h.report(call.Pos(), "%s.%s allocates", x.Name, fun.Sel.Name)
+				return
+			}
+			if h.idx != nil && h.idx.variadicAny[x.Name+"."+fun.Sel.Name] {
+				h.report(call.Pos(), "call to %s.%s boxes arguments into ...any", x.Name, fun.Sel.Name)
+			}
+		}
+	case *ast.ArrayType:
+		if id, ok := fun.Elt.(*ast.Ident); ok && fun.Len == nil &&
+			(id.Name == "byte" || id.Name == "rune") {
+			h.report(call.Pos(), "[]%s conversion allocates", id.Name)
+		}
+	}
+}
+
+// append flags append calls whose destination is a freshly allocated local:
+// growth there is a per-call heap allocation, whereas appending to a
+// parameter (the AppendTick dst contract) or to a receiver-field scratch
+// buffer amortizes to zero.
+func (h *hotpathCheck) append(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base := baseIdent(call.Args[0])
+	if base != nil && h.fresh[base.Name] {
+		h.report(call.Pos(), "append to freshly allocated local %q allocates; use a reused buffer", base.Name)
+	}
+}
+
+// freshLocals scans a function body for local slice variables whose origin is
+// a fresh allocation (nil, make, a composite literal, or append to one of
+// those). Parameters, named results and anything derived from a selector
+// (receiver fields) are considered reused storage.
+func freshLocals(fd *ast.FuncDecl) map[string]bool {
+	fresh := make(map[string]bool)
+	markExpr := func(name string, rhs ast.Expr) {
+		switch v := rhs.(type) {
+		case *ast.Ident:
+			if v.Name == "nil" || fresh[v.Name] {
+				fresh[name] = true
+			} else {
+				delete(fresh, name)
+			}
+		case *ast.CompositeLit:
+			fresh[name] = true
+		case *ast.CallExpr:
+			if id, ok := v.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "make":
+					fresh[name] = true
+					return
+				case "append":
+					if len(v.Args) > 0 {
+						if b := baseIdent(v.Args[0]); b != nil && fresh[b.Name] {
+							fresh[name] = true
+							return
+						}
+					}
+					delete(fresh, name)
+					return
+				}
+			}
+			delete(fresh, name)
+		default:
+			delete(fresh, name)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					markExpr(id.Name, n.Rhs[i])
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						markExpr(name.Name, vs.Values[i])
+					} else if _, isSlice := vs.Type.(*ast.ArrayType); isSlice {
+						// var x []T with no initializer: nil slice.
+						fresh[name.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// baseIdent resolves the root identifier of an expression like x,
+// x[i:j], or (x) — nil for selector-rooted expressions (fields are
+// sanctioned reused storage).
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isStringLit(e ast.Expr) bool {
+	bl, ok := e.(*ast.BasicLit)
+	return ok && bl.Kind == token.STRING
+}

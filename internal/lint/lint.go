@@ -1,0 +1,283 @@
+// Package lint is the repository's custom static-analysis suite. It
+// mechanically enforces the three invariants the simulator's performance and
+// reproducibility rest on, using only the standard library's go/ast,
+// go/parser and go/token (the module stays dependency-free):
+//
+//   - hotpath: functions annotated //bfetch:hotpath (the per-cycle
+//     simulation kernel) must not contain allocating constructs.
+//   - determinism: the simulation/experiment packages must not consult
+//     global randomness or wall clocks, and must not publish results from a
+//     map iteration without an explicit sort.
+//   - statsreset: every struct with a Reset/ResetStats method must account
+//     for all of its fields — each field is either assigned in the method or
+//     explicitly annotated //bfetch:noreset.
+//
+// Escape hatches are deliberate and auditable: //bfetch:alloc-ok,
+// //bfetch:wallclock and //bfetch:orderok suppress a single finding on the
+// same or the following line; //bfetch:noreset marks a struct field as
+// learned/configuration state that a stats reset must preserve. DESIGN.md §6
+// documents the contract.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string // "hotpath" | "determinism" | "statsreset"
+	Message  string
+}
+
+// String formats the finding the way compilers do: file:line:col: message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Package is one parsed directory of non-test Go files.
+type Package struct {
+	Rel   string // module-relative directory, "" for the root
+	Dir   string // absolute or cleaned directory path
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	// markers caches, per file, the line numbers carrying each //bfetch:
+	// suppression marker.
+	markers map[*ast.File]map[string]map[int]bool
+
+	// mapFieldCache memoizes the package's map-typed struct field names for
+	// the determinism analyzer.
+	mapFieldCache map[string]bool
+}
+
+// Options configures a Run.
+type Options struct {
+	// DeterminismPkgs lists the module-relative package directories the
+	// determinism analyzer applies to. Hotpath and statsreset always run
+	// module-wide (they trigger only on annotations/method names).
+	DeterminismPkgs []string
+}
+
+// DefaultOptions scopes determinism to the packages whose output feeds
+// recorded experiment results.
+func DefaultOptions() Options {
+	return Options{DeterminismPkgs: []string{
+		"internal/sim", "internal/harness", "internal/runner", "internal/workload",
+	}}
+}
+
+// Run applies the three analyzers to the packages and returns the surviving
+// (unsuppressed) diagnostics sorted by position.
+func Run(pkgs []*Package, opts Options) []Diagnostic {
+	det := make(map[string]bool, len(opts.DeterminismPkgs))
+	for _, p := range opts.DeterminismPkgs {
+		det[p] = true
+	}
+	idx := buildModuleIndex(pkgs)
+	var out []Diagnostic
+	for _, p := range pkgs {
+		out = append(out, Hotpath(p, idx)...)
+		out = append(out, StatsReset(p)...)
+		if det[p.Rel] {
+			out = append(out, Determinism(p, idx)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+// ---------------------------------------------------------------- markers --
+
+// markerLines returns the set of lines in f whose comments carry marker
+// (e.g. "bfetch:alloc-ok"), computing the file's marker table on first use.
+func (p *Package) markerLines(f *ast.File, marker string) map[int]bool {
+	if p.markers == nil {
+		p.markers = make(map[*ast.File]map[string]map[int]bool)
+	}
+	byMarker, ok := p.markers[f]
+	if !ok {
+		byMarker = make(map[string]map[int]bool)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "bfetch:") {
+					continue
+				}
+				name := text
+				if i := strings.IndexAny(text, " \t"); i >= 0 {
+					name = text[:i]
+				}
+				line := p.Fset.Position(c.Pos()).Line
+				if byMarker[name] == nil {
+					byMarker[name] = make(map[int]bool)
+				}
+				byMarker[name][line] = true
+			}
+		}
+		p.markers[f] = byMarker
+	}
+	return byMarker[marker]
+}
+
+// suppressed reports whether pos is covered by marker: the marker comment
+// sits on the same line or on the line immediately above.
+func (p *Package) suppressed(f *ast.File, pos token.Pos, marker string) bool {
+	lines := p.markerLines(f, marker)
+	if lines == nil {
+		return false
+	}
+	line := p.Fset.Position(pos).Line
+	return lines[line] || lines[line-1]
+}
+
+// report appends a diagnostic unless a suppression marker covers it.
+func (p *Package) report(out *[]Diagnostic, f *ast.File, pos token.Pos,
+	analyzer, marker, format string, args ...any) {
+	if marker != "" && p.suppressed(f, pos, marker) {
+		return
+	}
+	*out = append(*out, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// hasDirective reports whether the comment group contains the given
+// //bfetch: directive. Directive-style comments (no space after //) are
+// excluded from CommentGroup.Text, so the raw list is scanned.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// -------------------------------------------------------- module-wide index --
+
+// moduleIndex carries the cross-package facts analyzers need without
+// go/types: which functions return maps (so callers' map-typed variables can
+// be tracked), which take variadic any parameters (argument boxing), and
+// which named types are declared as slices or maps.
+type moduleIndex struct {
+	// mapResults maps "pkgbase.FuncName" and "rel|FuncName" to the indices
+	// of map-typed results in that function's result list.
+	mapResults map[string][]int
+	// variadicAny marks functions declared with a ...any / ...interface{}
+	// parameter, keyed like mapResults.
+	variadicAny map[string]bool
+	// sliceMapTypes marks named types declared as slice or map types, keyed
+	// "pkgbase.TypeName" and "rel|TypeName".
+	sliceMapTypes map[string]bool
+}
+
+func buildModuleIndex(pkgs []*Package) *moduleIndex {
+	idx := &moduleIndex{
+		mapResults:    make(map[string][]int),
+		variadicAny:   make(map[string]bool),
+		sliceMapTypes: make(map[string]bool),
+	}
+	for _, p := range pkgs {
+		base := pkgBase(p.Rel)
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Recv != nil {
+						continue
+					}
+					if hasVariadicAny(d.Type) {
+						idx.variadicAny[base+"."+d.Name.Name] = true
+						idx.variadicAny[p.Rel+"|"+d.Name.Name] = true
+					}
+					if d.Type.Results == nil {
+						continue
+					}
+					var mapIdx []int
+					i := 0
+					for _, field := range d.Type.Results.List {
+						n := len(field.Names)
+						if n == 0 {
+							n = 1
+						}
+						for k := 0; k < n; k++ {
+							if _, isMap := field.Type.(*ast.MapType); isMap {
+								mapIdx = append(mapIdx, i)
+							}
+							i++
+						}
+					}
+					if len(mapIdx) > 0 {
+						idx.mapResults[base+"."+d.Name.Name] = mapIdx
+						idx.mapResults[p.Rel+"|"+d.Name.Name] = mapIdx
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						switch t := ts.Type.(type) {
+						case *ast.MapType:
+							idx.sliceMapTypes[base+"."+ts.Name.Name] = true
+							idx.sliceMapTypes[p.Rel+"|"+ts.Name.Name] = true
+						case *ast.ArrayType:
+							if t.Len == nil {
+								idx.sliceMapTypes[base+"."+ts.Name.Name] = true
+								idx.sliceMapTypes[p.Rel+"|"+ts.Name.Name] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// hasVariadicAny reports whether the signature ends in ...any or
+// ...interface{}.
+func hasVariadicAny(ft *ast.FuncType) bool {
+	if ft.Params == nil || len(ft.Params.List) == 0 {
+		return false
+	}
+	last := ft.Params.List[len(ft.Params.List)-1]
+	el, ok := last.Type.(*ast.Ellipsis)
+	if !ok {
+		return false
+	}
+	switch t := el.Elt.(type) {
+	case *ast.Ident:
+		return t.Name == "any"
+	case *ast.InterfaceType:
+		return t.Methods == nil || len(t.Methods.List) == 0
+	}
+	return false
+}
+
+func pkgBase(rel string) string {
+	if i := strings.LastIndexByte(rel, '/'); i >= 0 {
+		return rel[i+1:]
+	}
+	return rel
+}

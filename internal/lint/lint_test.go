@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// ------------------------------------------------------------ golden files --
+//
+// Each fixture directory under testdata/src holds known-bad and known-good
+// sources for one analyzer. A `// want "substring"` comment (multiple quoted
+// substrings allowed) on a line asserts that the analyzer reports a
+// diagnostic there whose message contains the substring; every diagnostic
+// must be claimed by a want and every want must be matched.
+
+var wantRE = regexp.MustCompile(`"([^"]*)"`)
+
+func loadFixture(t *testing.T, name string) (*Package, *moduleIndex) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkgs, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	return pkgs[0], buildModuleIndex(pkgs)
+}
+
+// collectWants maps "file:line" to the unmatched want substrings there.
+func collectWants(p *Package) map[string][]string {
+	wants := make(map[string][]string)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
+					wants[key] = append(wants[key], m[1])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func checkGolden(t *testing.T, fixture string, run func(*Package, *moduleIndex) []Diagnostic) {
+	t.Helper()
+	p, idx := loadFixture(t, fixture)
+	wants := collectWants(p)
+	for _, d := range run(p, idx) {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+		matched := -1
+		for i, w := range wants[key] {
+			if strings.Contains(d.Message, w) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+			continue
+		}
+		wants[key] = append(wants[key][:matched], wants[key][matched+1:]...)
+		if len(wants[key]) == 0 {
+			delete(wants, key)
+		}
+	}
+	for key, subs := range wants {
+		for _, w := range subs {
+			t.Errorf("missing diagnostic at %s: want message containing %q", key, w)
+		}
+	}
+}
+
+func TestHotpathGolden(t *testing.T) {
+	checkGolden(t, "hotpath", Hotpath)
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	checkGolden(t, "determinism", Determinism)
+}
+
+func TestStatsResetGolden(t *testing.T) {
+	checkGolden(t, "statsreset", func(p *Package, _ *moduleIndex) []Diagnostic {
+		return StatsReset(p)
+	})
+}
+
+// --------------------------------------------------------------- live tree --
+
+// TestLiveTreeClean is the shipped-tree gate: the module this test runs in
+// must produce zero findings under the default options. It is the same check
+// `make lint` performs, so a regression fails `go test ./...` too.
+func TestLiveTreeClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := Run(pkgs, DefaultOptions())
+	for _, d := range diags {
+		t.Errorf("live tree finding: %s", d)
+	}
+	if len(pkgs) < 10 {
+		t.Errorf("loaded only %d packages from %s; module walk looks broken", len(pkgs), root)
+	}
+}
+
+// ---------------------------------------------------------------- mutation --
+
+// simLikeSrc mirrors the shape of sim.System's stats reset. The mutation test
+// deletes one field assignment and requires the statsreset analyzer to
+// re-detect exactly that bug class (a counter silently surviving the warmup
+// boundary was what PR 2's hand audit caught).
+const simLikeSrc = `package sim
+
+type System struct {
+	Cfg    int //bfetch:noreset configuration
+	cycles uint64
+	misses uint64
+	issued uint64
+	table  []int //bfetch:noreset learned state
+}
+
+func (s *System) ResetStats() {
+	s.cycles = 0
+	s.misses = 0
+	s.issued = 0
+}
+`
+
+func TestStatsResetMutation(t *testing.T) {
+	p, err := ParseSource("sim.go", simLikeSrc)
+	if err != nil {
+		t.Fatalf("parsing clean source: %v", err)
+	}
+	if diags := StatsReset(p); len(diags) != 0 {
+		t.Fatalf("clean source produced findings: %v", diags)
+	}
+
+	mutated := strings.Replace(simLikeSrc, "\ts.misses = 0\n", "", 1)
+	if mutated == simLikeSrc {
+		t.Fatal("mutation did not apply; fixture drifted")
+	}
+	p, err = ParseSource("sim.go", mutated)
+	if err != nil {
+		t.Fatalf("parsing mutated source: %v", err)
+	}
+	diags := StatsReset(p)
+	if len(diags) != 1 {
+		t.Fatalf("mutated source: got %d findings, want exactly 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "System.misses") {
+		t.Errorf("mutated source: finding %q does not name System.misses", diags[0].Message)
+	}
+}
+
+// TestNoresetMutationAlsoGuardsMarkers checks the symmetric direction:
+// removing a //bfetch:noreset annotation (without adding the reset) must
+// surface the field.
+func TestNoresetMutationAlsoGuardsMarkers(t *testing.T) {
+	mutated := strings.Replace(simLikeSrc, " //bfetch:noreset learned state", "", 1)
+	if mutated == simLikeSrc {
+		t.Fatal("mutation did not apply; fixture drifted")
+	}
+	p, err := ParseSource("sim.go", mutated)
+	if err != nil {
+		t.Fatalf("parsing mutated source: %v", err)
+	}
+	diags := StatsReset(p)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "System.table") {
+		t.Fatalf("got %v, want exactly one finding naming System.table", diags)
+	}
+}

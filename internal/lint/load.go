@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadModule parses every non-test Go file under root (the directory holding
+// go.mod) into one Package per directory. Test files are excluded because the
+// invariants guard shipped simulation code, not test scaffolding; testdata,
+// results and dot-directories are skipped entirely.
+func LoadModule(root string) ([]*Package, error) {
+	root = filepath.Clean(root)
+	fset := token.NewFileSet()
+	byDir := make(map[string]*Package)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "results" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("lint: %w", perr)
+		}
+		dir := filepath.Dir(path)
+		p := byDir[dir]
+		if p == nil {
+			rel, rerr := filepath.Rel(root, dir)
+			if rerr != nil {
+				return rerr
+			}
+			if rel == "." {
+				rel = ""
+			}
+			p = &Package{Rel: filepath.ToSlash(rel), Dir: dir, Fset: fset}
+			byDir[dir] = p
+		}
+		p.Files = append(p.Files, f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(byDir))
+	for _, p := range byDir {
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Rel < pkgs[j].Rel })
+	return pkgs, nil
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ParseSource parses a single in-memory file as its own Package — the
+// golden-file tests and the statsreset mutation test use it.
+func ParseSource(filename, src string) (*Package, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Rel: "fixture", Dir: "fixture", Fset: fset, Files: []*ast.File{f}}, nil
+}

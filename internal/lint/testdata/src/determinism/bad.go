@@ -1,0 +1,38 @@
+// Package determinism holds known-bad fixtures for the determinism analyzer.
+// Parsed by the golden tests, never compiled.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func badGlobalRand(n int) int {
+	return rand.Intn(n) // want "global math/rand.Intn draws from the shared unseeded source"
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "global math/rand.Shuffle"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+func badWallClock() int64 {
+	t := time.Now() // want "time.Now reads the wall clock"
+	return t.UnixNano()
+}
+
+func badMapOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "inside a map range publishes iteration order"
+	}
+	return out
+}
+
+func badMapPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "fmt.Printf inside a map range emits output in iteration order"
+	}
+}

@@ -1,0 +1,52 @@
+// Package hotpath holds known-bad fixtures for the hotpath analyzer: every
+// construct below must produce exactly the diagnostic named in its want
+// comment. This file is parsed by the golden tests, never compiled.
+package hotpath
+
+import "fmt"
+
+type widget struct {
+	scratch []int
+}
+
+type intlist []int
+
+func logf(format string, args ...any) {}
+
+func helper() {}
+
+//bfetch:hotpath
+func badAllocs(w *widget, dst []int, n int, bs []byte) []int {
+	s := make([]int, n) // want "make allocates"
+	p := new(int)       // want "new allocates"
+	_ = p
+	m := map[int]int{} // want "map literal allocates"
+	_ = m
+	sl := []int{1, 2} // want "slice literal allocates"
+	_ = sl
+	nl := intlist{3} // want "composite literal of slice/map type intlist allocates"
+	_ = nl
+	s = append(s, n) // want "append to freshly allocated local"
+	return s
+}
+
+//bfetch:hotpath
+func badCalls(n int, bs []byte, label string) {
+	fmt.Println(n)    // want "fmt.Println allocates"
+	logf("x %d", n)   // want "boxes arguments into ...any"
+	str := string(bs) // want "string conversion allocates"
+	_ = str
+	raw := []byte(label) // want "conversion allocates"
+	_ = raw
+	msg := "prefix" + label // want "string concatenation allocates"
+	_ = msg
+}
+
+//bfetch:hotpath
+func badControl(w *widget) {
+	f := func() {} // want "closure allocates"
+	_ = f
+	go helper()    // want "go statement allocates"
+	q := &widget{} // want "escapes to the heap"
+	_ = q
+}

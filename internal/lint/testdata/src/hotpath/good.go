@@ -1,0 +1,53 @@
+package hotpath
+
+// gadget mirrors the kernel's scratch-buffer style: persistent slices reused
+// across cycles via the s[:0] idiom.
+type gadget struct {
+	scratch []int
+	entries [4]int
+}
+
+type pair struct{ a, b int }
+
+//bfetch:hotpath
+func goodScratch(g *gadget, dst []int, n int) []int {
+	// Appending to a parameter is the AppendTick dst contract.
+	dst = append(dst, n)
+	// Appending to a receiver-field-derived slice is the sanctioned
+	// scratch-buffer idiom.
+	g.scratch = g.scratch[:0]
+	g.scratch = append(g.scratch, n)
+	tmp := g.scratch[:0]
+	tmp = append(tmp, n)
+	return dst
+}
+
+//bfetch:hotpath
+func goodValues(g *gadget, n int) int {
+	// Plain value composite literals live on the stack.
+	p := pair{a: n, b: n + 1}
+	arr := [2]int{n, n}
+	g.entries[0] = n
+	return p.a + arr[1]
+}
+
+//bfetch:hotpath
+func goodSuppressed(n int) error {
+	if n < 0 {
+		// Cold once-per-run exit path.
+		return errf("bad n %d", n) //bfetch:alloc-ok
+	}
+	return nil
+}
+
+func errf(format string, args ...any) error { return nil }
+
+// notAnnotated allocates freely: without //bfetch:hotpath the analyzer must
+// stay silent.
+func notAnnotated(n int) []int {
+	s := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		s = append(s, i)
+	}
+	return s
+}

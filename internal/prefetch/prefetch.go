@@ -97,11 +97,13 @@ type Prefetcher interface {
 // should override it.
 type Base struct{}
 
-func (Base) OnDecode(DecodeInfo)                          {}
-func (Base) OnCommit(CommitInfo)                          {}
-func (Base) OnAccess(AccessInfo)                          {}
-func (Base) PrefetchUseful(uint64, uint64)                {}
-func (Base) PrefetchUseless(uint64, uint64)               {}
+func (Base) OnDecode(DecodeInfo)            {}
+func (Base) OnCommit(CommitInfo)            {}
+func (Base) OnAccess(AccessInfo)            {}
+func (Base) PrefetchUseful(uint64, uint64)  {}
+func (Base) PrefetchUseless(uint64, uint64) {}
+
+//bfetch:hotpath
 func (Base) AppendTick(dst []Request, _ uint64) []Request { return dst }
 func (Base) Idle() bool                                   { return false }
 func (Base) ResetStats()                                  {}
@@ -118,10 +120,10 @@ func (None) Idle() bool   { return true }
 // fixed number of requests per cycle. Table I sizes B-Fetch's queue at 100
 // entries.
 type Queue struct {
-	buf      []Request
-	capacity int
-	perCycle int
-	inQ      map[uint64]bool
+	buf      []Request       //bfetch:noreset pending requests survive a stats reset
+	capacity int             //bfetch:noreset configuration
+	perCycle int             //bfetch:noreset configuration
+	inQ      map[uint64]bool //bfetch:noreset tracks pending requests, which survive
 
 	Enqueued    uint64
 	DroppedFull uint64
@@ -158,6 +160,8 @@ func (q *Queue) Push(r Request) {
 // AppendPop removes up to the per-cycle issue limit, appending the popped
 // requests to dst and returning the extended slice. It never allocates once
 // dst has capacity for the per-cycle limit.
+//
+//bfetch:hotpath
 func (q *Queue) AppendPop(dst []Request) []Request {
 	n := q.perCycle
 	if n > len(q.buf) {

@@ -8,9 +8,9 @@ package prefetch
 // evaluation found degree 8 best (§V-A) and uses that as the default.
 type Stride struct {
 	Base
-	entries []strideEntry
-	mask    uint64
-	degree  int
+	entries []strideEntry //bfetch:noreset learned reference-prediction table
+	mask    uint64        //bfetch:noreset configuration
+	degree  int           //bfetch:noreset configuration
 	queue   *Queue
 }
 
@@ -105,6 +105,8 @@ func (s *Stride) OnAccess(a AccessInfo) {
 }
 
 // AppendTick drains the queue.
+//
+//bfetch:hotpath
 func (s *Stride) AppendTick(dst []Request, now uint64) []Request { return s.queue.AppendPop(dst) }
 
 // Idle reports whether the queue is drained.
@@ -125,7 +127,7 @@ func (s *Stride) StorageBits() int {
 // the examples and ablations.
 type NextN struct {
 	Base
-	n     int
+	n     int //bfetch:noreset configuration
 	queue *Queue
 }
 
@@ -146,6 +148,7 @@ func (p *NextN) OnAccess(a AccessInfo) {
 	}
 }
 
+//bfetch:hotpath
 func (p *NextN) AppendTick(dst []Request, now uint64) []Request { return p.queue.AppendPop(dst) }
 
 // Idle reports whether the queue is drained.

@@ -276,7 +276,7 @@ func (e *Engine) runJob(j Job) Outcome {
 // with the cache disabled (SetCache(false)) the fast-forward runs inline
 // per simulation instead — bit-identical either way.
 func (e *Engine) execute(j Job) Outcome {
-	start := time.Now()
+	start := time.Now() //bfetch:wallclock per-run elapsed time, logged only
 	var res sim.Result
 	var err error
 	if ff := j.Opts.FastForwardInsts; ff > 0 && !e.noCache {
@@ -287,7 +287,7 @@ func (e *Engine) execute(j Job) Outcome {
 	} else {
 		res, err = sim.Run(j.Cfg, j.Apps, j.Opts)
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //bfetch:wallclock feeds simNanos throughput stats
 	e.runs.Add(1)
 	e.simNanos.Add(int64(elapsed))
 	if err == nil {
@@ -331,14 +331,15 @@ func (e *Engine) checkpoint(name string, ff uint64) (*ckpt.Checkpoint, error) {
 		ent = &ckptEntry{done: make(chan struct{})}
 		e.ckEntries[key] = ent
 		e.ckMu.Unlock()
-		start := time.Now()
+		start := time.Now() //bfetch:wallclock checkpoint-build timing, logged only
 		ent.cp, ent.err = ckpt.ByName(name, ff)
 		close(ent.done)
 		e.ckMisses.Add(1)
 		if ent.cp != nil {
 			e.emuInsts.Add(ent.cp.Arch.Retired)
 			e.logf("runner: checkpoint %-12s ff=%d built in %s (%d KB image)",
-				name, ff, time.Since(start).Round(time.Millisecond), ent.cp.FootprintBytes()>>10)
+				name, ff, time.Since(start).Round(time.Millisecond), //bfetch:wallclock log line only
+				ent.cp.FootprintBytes()>>10)
 		}
 		return ent.cp, ent.err
 	}

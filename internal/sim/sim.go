@@ -140,16 +140,16 @@ func (m LoopMode) String() string {
 // System is an assembled simulation: cores with private hierarchies over a
 // shared LLC and DRAM channel.
 type System struct {
-	Cfg   Config
+	Cfg   Config //bfetch:noreset configuration
 	Cores []*cpu.Core
 	PFs   []prefetch.Prefetcher
 	LLC   *cache.Cache
 	DRAM  *cache.DRAM
 
 	// Loop selects the clock-advance strategy; LoopAuto means DefaultLoop.
-	Loop LoopMode
+	Loop LoopMode //bfetch:noreset configuration
 
-	clock     uint64
+	clock     uint64 //bfetch:noreset global simulation clock, monotonic across the reset
 	statsBase uint64 // clock value at the last ResetStats
 }
 

@@ -43,13 +43,13 @@ type agtEntry struct {
 // SMS is the prefetcher.
 type SMS struct {
 	prefetch.Base
-	cfg         Config
-	regionShift uint
-	blocksPer   int
-	agt         []agtEntry
-	pht         []uint64
+	cfg         Config     //bfetch:noreset configuration
+	regionShift uint       //bfetch:noreset configuration
+	blocksPer   int        //bfetch:noreset configuration
+	agt         []agtEntry //bfetch:noreset learned active generations
+	pht         []uint64   //bfetch:noreset learned patterns
 	queue       *prefetch.Queue
-	clock       uint64
+	clock       uint64 //bfetch:noreset internal LRU clock, monotonic
 
 	// Stats.
 	Generations uint64
@@ -151,6 +151,8 @@ func (s *SMS) train(e *agtEntry) {
 }
 
 // AppendTick drains the prefetch queue.
+//
+//bfetch:hotpath
 func (s *SMS) AppendTick(dst []prefetch.Request, now uint64) []prefetch.Request {
 	return s.queue.AppendPop(dst)
 }

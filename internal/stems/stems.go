@@ -64,20 +64,20 @@ type rmobEntry struct {
 // STeMS is the prefetcher.
 type STeMS struct {
 	prefetch.Base
-	cfg         Config
-	regionShift uint
-	blocksPer   int
+	cfg         Config //bfetch:noreset configuration
+	regionShift uint   //bfetch:noreset configuration
+	blocksPer   int    //bfetch:noreset configuration
 
-	agt []generation
-	pht []uint64
+	agt []generation //bfetch:noreset learned active generations
+	pht []uint64     //bfetch:noreset learned patterns
 
-	rmob     []rmobEntry
-	rmobHead int // next write position
-	rmobLen  int
-	temporal map[uint64]int // trigger key → RMOB position of last occurrence
+	rmob     []rmobEntry    //bfetch:noreset learned temporal log
+	rmobHead int            //bfetch:noreset next write position
+	rmobLen  int            //bfetch:noreset learned temporal log occupancy
+	temporal map[uint64]int //bfetch:noreset trigger key → RMOB position of last occurrence
 
 	queue *prefetch.Queue
-	clock uint64
+	clock uint64 //bfetch:noreset internal clock, monotonic
 
 	// Stats.
 	TemporalHits uint64
@@ -212,6 +212,8 @@ func (s *STeMS) train(g *generation) {
 }
 
 // AppendTick drains the prefetch queue.
+//
+//bfetch:hotpath
 func (s *STeMS) AppendTick(dst []prefetch.Request, now uint64) []prefetch.Request {
 	return s.queue.AppendPop(dst)
 }
