@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint verify verify-full verify-race race bench bench-json clean
+.PHONY: all build test vet lint verify verify-full verify-race race bench bench-json obs-smoke clean
 
 # Packages exercising concurrency: the parallel experiment engine, the
 # copy-on-write memory forks, and shared-checkpoint restores.
@@ -54,6 +54,11 @@ bench:
 # small enough that per-experiment wall times stay comparable across hosts.
 bench-json:
 	$(GO) run ./cmd/bfetch-bench -exp all -q -benchjson BENCH_sim.json -j 4
+
+# Observability smoke test: tiny batch with the live -http endpoint up,
+# scrape it, and validate every obs JSON document against its schema.
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 clean:
 	rm -rf results

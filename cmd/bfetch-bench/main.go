@@ -26,9 +26,11 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/sim"
 )
@@ -57,6 +59,9 @@ func run() error {
 		benchJSON  = flag.String("benchjson", "", "write per-experiment simulation throughput to this JSON file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		httpAddr   = flag.String("http", "", "serve live introspection on this address (/obs status, /obs/runs, /debug/vars, /debug/pprof)")
+		obsJSON    = flag.String("obsjson", "", "write per-run observability reports (bfetch-obs/v1 JSON) to this file")
+		linger     = flag.Duration("linger", 0, "keep the -http endpoint up this long after the last experiment")
 	)
 	flag.Parse()
 
@@ -90,6 +95,42 @@ func run() error {
 	if *seq {
 		eng = runner.NewSequential()
 	}
+	if *obsJSON != "" || *httpAddr != "" {
+		eng.SetRunReports(true)
+	}
+
+	var curExp atomic.Value // string: experiment the batch loop is inside
+	curExp.Store("")
+	start := time.Now()
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr,
+			func() obs.Status {
+				done, total := eng.Progress()
+				st := eng.Stats()
+				s := obs.Status{
+					Schema:     obs.SchemaStatus,
+					Experiment: curExp.Load().(string),
+					JobsDone:   done, JobsTotal: total,
+					Runs:      st.Runs,
+					CacheHits: st.Hits, CacheMisses: st.Misses,
+					CkptHits: st.CkptHits, CkptMisses: st.CkptMisses,
+					SimCycles: st.SimCycles, SimInsts: st.SimInsts,
+					UptimeSeconds: time.Since(start).Seconds(),
+				}
+				if s.UptimeSeconds > 0 {
+					s.KCyclesPerSec = float64(s.SimCycles) / 1e3 / s.UptimeSeconds
+				}
+				return s
+			},
+			func() obs.RunsFile {
+				return obs.RunsFile{Schema: obs.SchemaRuns, Loop: loop.String(), Runs: eng.RunReports()}
+			})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: serving http://%s/obs\n", srv.Addr())
+	}
 
 	params := harness.DefaultParams()
 	params.Opts = sim.RunOpts{FastForwardInsts: *ff, WarmupInsts: *warmup, MeasureInsts: *measure, Loop: loop}
@@ -121,6 +162,7 @@ func run() error {
 	bench.Workers = eng.Workers()
 	for _, e := range todo {
 		start := time.Now()
+		curExp.Store(e.ID)
 		fmt.Fprintf(os.Stderr, "running %s: %s (%d workers)\n", e.ID, e.Title, eng.Workers())
 		tables, err := e.Run(params)
 		if err != nil {
@@ -156,11 +198,32 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "total: %d sims run, cache: %d hits, %d misses; ckpt: %d hits, %d misses; %d insts emulated\n",
 			st.Runs, st.Hits, st.Misses, st.CkptHits, st.CkptMisses, st.EmuInsts)
 	}
+	curExp.Store("")
 	if *benchJSON != "" {
 		if err := bench.write(*benchJSON, eng.Stats()); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *benchJSON)
+	}
+	if *obsJSON != "" {
+		f := obs.RunsFile{
+			Schema:    obs.SchemaRuns,
+			Generated: time.Now().UTC().Format(time.RFC3339),
+			Loop:      loop.String(),
+			Runs:      eng.RunReports(),
+		}
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*obsJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d run reports)\n", *obsJSON, len(f.Runs))
+	}
+	if *httpAddr != "" && *linger > 0 {
+		fmt.Fprintf(os.Stderr, "obs: lingering %s for scrapes\n", *linger)
+		time.Sleep(*linger)
 	}
 
 	if *memprofile != "" {

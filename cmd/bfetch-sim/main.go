@@ -5,15 +5,21 @@
 //
 //	bfetch-sim -workloads mcf -pf bfetch
 //	bfetch-sim -workloads mcf,lbm,milc,astar -pf sms -measure 500000
+//	bfetch-sim -workloads mcf -obs report.json           # observability report
+//	bfetch-sim -workloads mcf -obs - -obstrace pf.trace  # + sampled event trace
+//	bfetch-sim -validate-obs report.json                 # schema-check any obs JSON
 //	bfetch-sim -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -29,8 +35,30 @@ func main() {
 		conf    = flag.Float64("conf", 0.75, "B-Fetch path confidence threshold")
 		simloop = flag.String("simloop", "auto", "clock strategy: auto, event, or naive (escape hatch)")
 		list    = flag.Bool("list", false, "list workloads and exit")
+
+		obsOut     = flag.String("obs", "", "write this run's observability report (bfetch-obs-run/v1 JSON) to this file, '-' for stdout")
+		obsTrace   = flag.String("obstrace", "", "dump the sampled prefetch lifecycle trace (binary internal/trace encoding) to this file")
+		traceEvery = flag.Uint64("obstrace-every", 64, "keep 1 in N lifecycle events in the trace ring")
+		traceCap   = flag.Int("obstrace-cap", 1<<16, "trace ring-buffer capacity in events")
+
+		validate = flag.String("validate-obs", "", "validate an obs JSON document (run report, runs file, or status) and exit")
 	)
 	flag.Parse()
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfetch-sim:", err)
+			os.Exit(1)
+		}
+		schema, err := obs.ValidateReport(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfetch-sim: validate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid %s\n", *validate, schema)
+		return
+	}
 
 	if *list {
 		for _, w := range workload.All() {
@@ -54,13 +82,20 @@ func main() {
 	cfg.BFetch.PathThreshold = *conf
 	names := strings.Split(*apps, ",")
 
-	res, err := sim.Run(cfg, names, sim.RunOpts{
+	var tr *obs.Trace
+	if *obsTrace != "" {
+		tr = obs.NewTrace(*traceCap, *traceEvery)
+	}
+	opts := sim.RunOpts{
 		FastForwardInsts: *ff, WarmupInsts: *warmup, MeasureInsts: *measure, Loop: loop,
-	})
+	}
+	start := time.Now()
+	res, err := sim.RunTraced(cfg, names, opts, tr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bfetch-sim:", err)
 		os.Exit(1)
 	}
+	wall := time.Since(start)
 
 	fmt.Printf("prefetcher=%s width=%d cores=%d ff=%d warmup=%d measure=%d\n\n",
 		*pf, *width, len(names), *ff, *warmup, *measure)
@@ -76,9 +111,77 @@ func main() {
 			cs.LoadsCommitted, cs.LoadL1Hits, cs.LoadL1Misses, cs.StoreForwards)
 		fmt.Printf("  prefetches     %d issued, %d dropped-resident, %d useful, %d useless\n",
 			cs.PrefetchIssued, cs.PrefetchDropped, l1.PrefetchUseful, l1.PrefetchUseless)
+		if i < len(res.Lifecycle) {
+			lc := res.Lifecycle[i]
+			fmt.Printf("  pf lifecycle   %d timely, %d late, %d useless-evicted, %d polluting (acc %.2f, cov %.2f, tml %.2f)\n",
+				lc.UsefulTimely, lc.UsefulLate, lc.UselessEvicted, lc.Polluting,
+				lc.Accuracy(), lc.Coverage(), lc.Timeliness())
+		}
 		fmt.Println()
 	}
 	fmt.Printf("LLC: %d accesses, %.2f%% miss\n", res.LLC.Accesses, 100*res.LLC.MissRate())
 	fmt.Printf("DRAM: %d demand fills, %d prefetch fills, %d writebacks, %d stall cycles\n",
 		res.DRAM.DemandFills, res.DRAM.PrefetchFills, res.DRAM.Writebacks, res.DRAM.StallCycles)
+
+	if *obsOut != "" {
+		if err := writeObsReport(*obsOut, *pf, names, res, wall); err != nil {
+			fmt.Fprintln(os.Stderr, "bfetch-sim:", err)
+			os.Exit(1)
+		}
+	}
+	if tr != nil {
+		if err := dumpTrace(*obsTrace, tr); err != nil {
+			fmt.Fprintln(os.Stderr, "bfetch-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d of %d lifecycle events kept)\n", *obsTrace, tr.Kept(), tr.Seen())
+	}
+}
+
+// writeObsReport emits the run's bfetch-obs-run/v1 document: the lifecycle
+// classification, its quality ratios, and the full metrics-registry snapshot.
+func writeObsReport(path, engine string, apps []string, res sim.Result, wall time.Duration) error {
+	var insts uint64
+	for _, cs := range res.Core {
+		insts += cs.Committed
+	}
+	r := obs.RunReport{
+		Engine:      engine,
+		Apps:        apps,
+		Cycles:      res.Cycles,
+		Insts:       insts,
+		IPC:         res.IPC,
+		PerCore:     res.Lifecycle,
+		Metrics:     res.Metrics,
+		WallSeconds: wall.Seconds(),
+	}
+	r.Finalize()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+// dumpTrace writes the sampled ring-buffer trace in the internal/trace
+// binary encoding (readable with trace.NewReader).
+func dumpTrace(path string, tr *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.Dump(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -13,7 +13,11 @@
 // demand miss), and DRAM bandwidth contention (see Package-level DRAM).
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // BlockBits is log2 of the cache block size; blocks are 64 bytes throughout,
 // matching the paper.
@@ -110,6 +114,11 @@ type Cache struct {
 
 	feedback FeedbackHandler
 
+	// lc, when set (the L1D of an assembled system), classifies every
+	// prefetch's lifecycle: issue, first use (timely or late), untouched
+	// eviction, and pollution. All hooks are nil-safe no-ops when unset.
+	lc *obs.Lifecycle
+
 	// Perfect, when set on a first-level data cache, makes every demand
 	// read complete at the hit latency: the paper's Perfect L1-D prefetcher
 	// upper bound (Figure 1).
@@ -141,6 +150,25 @@ func New(cfg Config, next Level) *Cache {
 // SetFeedback registers the prefetch feedback sink (normally the core's
 // prefetcher adapter); only meaningful on the L1D.
 func (c *Cache) SetFeedback(h FeedbackHandler) { c.feedback = h }
+
+// SetLifecycle attaches the prefetch lifecycle classifier (nil detaches);
+// only meaningful on the L1D, where prefetches fill.
+func (c *Cache) SetLifecycle(lc *obs.Lifecycle) { c.lc = lc }
+
+// PendingPrefetched counts resident prefetch-filled blocks not yet touched
+// by demand. A stats reset credits these to the new window's issued count
+// (obs.Lifecycle.CarryIn) so that the useful/useless events they generate
+// later keep useful+useless <= issued within every measurement window.
+// Cold path: called only at reset, never per access.
+func (c *Cache) PendingPrefetched() uint64 {
+	var n uint64
+	for i := range c.data {
+		if c.data[i].valid && c.data[i].prefetched {
+			n++
+		}
+	}
+	return n
+}
 
 // Name returns the configured name.
 func (c *Cache) Name() string { return c.cfg.Name }
@@ -179,9 +207,11 @@ func (c *Cache) lookup(blockAddr uint64) *block {
 func (c *Cache) Contains(blockAddr uint64) bool { return c.lookup(blockAddr) != nil }
 
 // victim returns the LRU way of the set, evicting its current contents.
+// pfFill marks evictions caused by a prefetch-fill install, which arm the
+// pollution detector for the displaced block.
 //
 //bfetch:hotpath
-func (c *Cache) victim(blockAddr uint64, now uint64) *block {
+func (c *Cache) victim(blockAddr uint64, now uint64, pfFill bool) *block {
 	set := c.setOf(blockAddr)
 	v := &set[0]
 	for i := range set {
@@ -194,6 +224,9 @@ func (c *Cache) victim(blockAddr uint64, now uint64) *block {
 		}
 	}
 	if v.valid {
+		if pfFill {
+			c.lc.FillVictim(v.tag)
+		}
 		c.evict(v, now)
 	}
 	return v
@@ -204,6 +237,7 @@ func (c *Cache) evict(b *block, now uint64) {
 	c.Stats.Evictions++
 	if b.prefetched {
 		c.Stats.PrefetchUseless++
+		c.lc.Evicted(b.pfLoadPC, b.tag, now, b.readyAt)
 		if c.feedback != nil {
 			c.feedback.PrefetchUseless(b.pfLoadPC, b.tag)
 		}
@@ -224,7 +258,7 @@ func (c *Cache) writeback(req Request, now uint64) {
 			return
 		}
 		// Non-inclusive hierarchy: allocate in the next level on writeback.
-		v := nc.victim(req.BlockAddr, now)
+		v := nc.victim(req.BlockAddr, now, false)
 		*v = block{valid: true, tag: req.BlockAddr, dirty: true, readyAt: now, lastUse: now}
 		return
 	}
@@ -252,15 +286,17 @@ func (c *Cache) Access(req Request, now uint64) uint64 {
 		if req.Kind == Write {
 			b.dirty = true
 		}
+		done := now + c.cfg.Latency
 		if req.Kind != PrefetchFill && b.prefetched {
-			// First demand touch of a prefetched block: it was useful.
+			// First demand touch of a prefetched block: it was useful — and
+			// late if the demand still had to wait on the in-flight fill.
 			b.prefetched = false
 			c.Stats.PrefetchUseful++
+			c.lc.Used(b.pfLoadPC, b.tag, now, b.readyAt, b.readyAt > done)
 			if c.feedback != nil {
 				c.feedback.PrefetchUseful(b.pfLoadPC, b.tag)
 			}
 		}
-		done := now + c.cfg.Latency
 		if b.readyAt > done {
 			// Block still in flight: merge with the outstanding fill.
 			c.Stats.MergedInFlight++
@@ -280,9 +316,12 @@ func (c *Cache) Access(req Request, now uint64) uint64 {
 	}
 	if req.Kind == PrefetchFill {
 		c.Stats.PrefetchFills++
+		c.lc.Issued(req.LoadPC, req.BlockAddr, now)
+	} else {
+		c.lc.DemandMiss(0, req.BlockAddr, now)
 	}
 	fillDone := c.next.Access(fill, now+c.cfg.Latency)
-	v := c.victim(req.BlockAddr, now)
+	v := c.victim(req.BlockAddr, now, req.Kind == PrefetchFill)
 	*v = block{
 		valid:   true,
 		tag:     req.BlockAddr,
@@ -296,6 +335,21 @@ func (c *Cache) Access(req Request, now uint64) uint64 {
 		v.pfWasPf = true
 	}
 	return fillDone
+}
+
+// RegisterObs exports the cache's counters into the metrics registry under
+// prefix (e.g. "c0.l1d."). Collectors read the live Stats struct, so the
+// hot path keeps its plain field increments.
+func (c *Cache) RegisterObs(reg *obs.Registry, prefix string) {
+	reg.Func(prefix+"accesses", func() uint64 { return c.Stats.Accesses })
+	reg.Func(prefix+"hits", func() uint64 { return c.Stats.Hits })
+	reg.Func(prefix+"misses", func() uint64 { return c.Stats.Misses })
+	reg.Func(prefix+"writes", func() uint64 { return c.Stats.Writes })
+	reg.Func(prefix+"evictions", func() uint64 { return c.Stats.Evictions })
+	reg.Func(prefix+"pf_fills", func() uint64 { return c.Stats.PrefetchFills })
+	reg.Func(prefix+"pf_useful", func() uint64 { return c.Stats.PrefetchUseful })
+	reg.Func(prefix+"pf_useless", func() uint64 { return c.Stats.PrefetchUseless })
+	reg.Func(prefix+"merged_inflight", func() uint64 { return c.Stats.MergedInFlight })
 }
 
 // Invalidate removes a block if present, without writeback (test support).

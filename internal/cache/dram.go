@@ -1,5 +1,7 @@
 package cache
 
+import "repro/internal/obs"
+
 // DRAM is the off-chip memory model: a fixed access latency plus a channel
 // bandwidth gate. Every block transfer (demand fill, prefetch fill, or
 // writeback) occupies the channel for CyclesPerFill cycles; transfers queue
@@ -52,6 +54,15 @@ func (d *DRAM) Access(req Request, now uint64) uint64 {
 
 // Transfers returns the total block transfers the channel carried.
 func (d *DRAM) Transfers() uint64 { return d.DemandFills + d.PrefetchFills + d.Writebacks }
+
+// RegisterObs exports the channel's traffic counters into the metrics
+// registry under prefix (normally "dram.").
+func (d *DRAM) RegisterObs(reg *obs.Registry, prefix string) {
+	reg.Func(prefix+"demand_fills", func() uint64 { return d.DemandFills })
+	reg.Func(prefix+"prefetch_fills", func() uint64 { return d.PrefetchFills })
+	reg.Func(prefix+"writebacks", func() uint64 { return d.Writebacks })
+	reg.Func(prefix+"stall_cycles", func() uint64 { return d.StallCycles })
+}
 
 // HierarchyConfig sizes one core's cache stack. The shared LLC and DRAM are
 // created once per system and passed in.

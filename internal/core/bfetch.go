@@ -31,6 +31,7 @@ package core
 import (
 	"repro/internal/branch"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/prefetch"
 )
 
@@ -314,6 +315,22 @@ func (b *BFetch) Idle() bool {
 func (b *BFetch) ResetStats() {
 	b.Stats = Stats{}
 	b.queue.ResetStats()
+}
+
+// RegisterObs exports the engine's internal counters into the metrics
+// registry — the same fields harness tables print, under canonical names.
+func (b *BFetch) RegisterObs(reg *obs.Registry, prefix string) {
+	reg.Func(prefix+"lookahead_starts", func() uint64 { return b.Stats.LookaheadStarts })
+	reg.Func(prefix+"lookahead_steps", func() uint64 { return b.Stats.LookaheadSteps })
+	reg.Func(prefix+"lookahead_stops", func() uint64 { return b.Stats.LookaheadStops })
+	reg.Func(prefix+"brtc_misses", func() uint64 { return b.Stats.BrTCMisses })
+	reg.Func(prefix+"loops_detected", func() uint64 { return b.Stats.LoopsDetected })
+	reg.Func(prefix+"candidates", func() uint64 { return b.Stats.Candidates })
+	reg.Func(prefix+"mht_misses", func() uint64 { return b.Stats.MHTMisses })
+	reg.Func(prefix+"filtered", func() uint64 { return b.Stats.Filtered })
+	reg.Func(prefix+"pattern_extra", func() uint64 { return b.Stats.PatternExtra })
+	reg.Func(prefix+"loop_prefetches", func() uint64 { return b.Stats.LoopPrefetches })
+	b.queue.RegisterObs(reg, prefix)
 }
 
 // step processes one basic block: generate its prefetches, then advance to

@@ -14,6 +14,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/isb"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/prefetch"
 	"repro/internal/sms"
 	"repro/internal/stems"
@@ -44,7 +45,10 @@ var allocEngines = []struct {
 
 // newAllocCore mirrors newTestCore but shares the branch machinery with the
 // prefetch engine and wires L1D feedback, matching the sim package's full
-// configuration so feedback callbacks run inside the measured window.
+// configuration so feedback callbacks run inside the measured window. The
+// observability layer is attached exactly as sim assembles it — registry
+// collectors, lifecycle classifier, and a sampled tracer in its default-off
+// configuration — so the zero-alloc claim covers the instrumented hot path.
 func newAllocCore(prog *isa.Program, m *mem.Memory, mk mkPrefetcher) *Core {
 	dram := cache.NewDRAM()
 	llc := cache.New(cache.Config{Name: "L3", Bytes: 2 << 20, Ways: 16, Latency: 20}, dram)
@@ -53,7 +57,22 @@ func newAllocCore(prog *isa.Program, m *mem.Memory, mk mkPrefetcher) *Core {
 	conf := branch.NewConfidence(branch.DefaultConfidenceConfig())
 	pf := mk(bp, conf)
 	hier.L1D.SetFeedback(pf)
-	return New(DefaultConfig(), prog, m, hier, bp, conf, pf)
+
+	reg := obs.NewRegistry()
+	llc.RegisterObs(reg, "llc.")
+	dram.RegisterObs(reg, "dram.")
+	hier.L1D.RegisterObs(reg, "c0.l1d.")
+	if r, ok := pf.(obs.Registrant); ok {
+		r.RegisterObs(reg, "c0.pf.")
+	}
+	lc := obs.NewLifecycle(reg, "c0.pf.")
+	// Sampling off (keep 1 in 2^62): the Record path still runs per event.
+	lc.SetTrace(obs.NewTrace(256, 1<<62))
+	hier.L1D.SetLifecycle(lc)
+
+	c := New(DefaultConfig(), prog, m, hier, bp, conf, pf)
+	c.RegisterObs(reg, "c0.cpu.")
+	return c
 }
 
 // TestCycleZeroAlloc drives the full core — fetch through commit, cache

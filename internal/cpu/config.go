@@ -1,5 +1,7 @@
 package cpu
 
+import "repro/internal/obs"
+
 // Config sizes the out-of-order core. The defaults reproduce the paper's
 // Table II baseline: a 4-wide machine with a 192-entry ROB.
 type Config struct {
@@ -79,4 +81,24 @@ func (s Stats) BranchMissRate() float64 {
 		return 0
 	}
 	return float64(s.BranchMispredicts) / float64(s.BranchesCommitted)
+}
+
+// RegisterObs exports the core's execution counters into the metrics
+// registry under prefix (e.g. "c0.cpu."). Collectors read the live Stats
+// struct, so the per-cycle kernel keeps its plain field increments.
+func (c *Core) RegisterObs(reg *obs.Registry, prefix string) {
+	reg.Func(prefix+"cycles", func() uint64 { return c.Stats.Cycles })
+	reg.Func(prefix+"committed", func() uint64 { return c.Stats.Committed })
+	reg.Func(prefix+"fetched", func() uint64 { return c.Stats.Fetched })
+	reg.Func(prefix+"squashed", func() uint64 { return c.Stats.Squashed })
+	reg.Func(prefix+"branches", func() uint64 { return c.Stats.BranchesCommitted })
+	reg.Func(prefix+"branch_mispredicts", func() uint64 { return c.Stats.BranchMispredicts })
+	reg.Func(prefix+"loads", func() uint64 { return c.Stats.LoadsCommitted })
+	reg.Func(prefix+"stores", func() uint64 { return c.Stats.StoresCommitted })
+	reg.Func(prefix+"load_l1_hits", func() uint64 { return c.Stats.LoadL1Hits })
+	reg.Func(prefix+"load_l1_misses", func() uint64 { return c.Stats.LoadL1Misses })
+	reg.Func(prefix+"store_forwards", func() uint64 { return c.Stats.StoreForwards })
+	reg.Func(prefix+"wrong_path_loads", func() uint64 { return c.Stats.WrongPathLoads })
+	reg.Func(prefix+"pf_requests", func() uint64 { return c.Stats.PrefetchIssued })
+	reg.Func(prefix+"pf_requests_dropped", func() uint64 { return c.Stats.PrefetchDropped })
 }

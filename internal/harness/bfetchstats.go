@@ -1,28 +1,38 @@
 package harness
 
 import (
-	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
 // bfetchStats runs one workload on a B-Fetch configuration and returns the
-// engine's internal counters (lookahead depth, stop reasons, candidate and
-// filter activity) — detail the Result snapshot deliberately omits.
-func bfetchStats(cfg sim.Config, app string, opts sim.RunOpts) (core.Stats, error) {
+// system's metrics snapshot. The engine's internal counters (lookahead
+// depth, stop reasons, candidate and filter activity) are read back under
+// their canonical registry names ("c0.pf.lookahead_steps", ...), so harness
+// tables, JSON run reports and the live endpoint all use one name set
+// instead of re-deriving per-engine stat names from struct fields.
+func bfetchStats(cfg sim.Config, app string, opts sim.RunOpts) (obs.Snapshot, error) {
 	w, err := workload.ByName(app)
 	if err != nil {
-		return core.Stats{}, err
+		return obs.Snapshot{}, err
 	}
 	cfg.Cores = 1
 	cfg.Prefetcher = sim.PFBFetch
 	s, err := sim.New(cfg, []workload.Workload{w})
 	if err != nil {
-		return core.Stats{}, err
+		return obs.Snapshot{}, err
 	}
 	total := opts.WarmupInsts + opts.MeasureInsts
 	if err := s.Run(total, total*1000); err != nil {
-		return core.Stats{}, err
+		return obs.Snapshot{}, err
 	}
-	return s.PFs[0].(*core.BFetch).Stats, nil
+	return s.Reg.Snapshot(), nil
+}
+
+// bfetchMetric reads one canonical B-Fetch engine counter ("lookahead_steps",
+// "brtc_misses", ...) out of a single-core snapshot from bfetchStats.
+func bfetchMetric(snap obs.Snapshot, name string) uint64 {
+	v, _ := snap.Get("c0.pf." + name)
+	return v
 }

@@ -3,8 +3,8 @@ package harness
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/isb"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -47,12 +47,14 @@ func runExtISB(p Params) ([]*stats.Table, error) {
 		sim.Default(sim.PFISB),
 		sim.Default(sim.PFSTeMS),
 	}
-	data, err := speedups(p, base, configs)
+	data, lcs, err := speedups(p, base, configs)
 	if err != nil {
 		return nil, err
 	}
 	t := speedupTable("Extension: SMS vs B-Fetch vs ISB vs STeMS speedups", p.workloads(),
 		[]string{"SMS", "Bfetch", "ISB", "STeMS"}, data)
+	lt := lifecycleTable("Extension (obs): prefetch lifecycle by engine",
+		[]string{"SMS", "Bfetch", "ISB", "STeMS"}, lcs)
 
 	// Meta-data growth: run ISB on a representative irregular workload and
 	// report the mapping footprint against B-Fetch's fixed budget.
@@ -72,7 +74,7 @@ func runExtISB(p Params) ([]*stats.Table, error) {
 		"off-chip in the original (≈8 MB budget, +8.4% traffic)")
 	meta.AddRow("STeMS", fmt.Sprintf("%.1f KB (grows with history)", float64(stemsMeta)/1024),
 		"temporal log off-chip in the original (MBs)")
-	return []*stats.Table{t, meta}, nil
+	return []*stats.Table{t, lt, meta}, nil
 }
 
 // runWithSTeMS measures STeMS's meta-data bytes after running one workload.
@@ -178,7 +180,7 @@ func runExtDepth(p Params) ([]*stats.Table, error) {
 		}
 	}
 	outs := p.engine().RunAll(jobs)
-	insts := make([]core.Stats, len(jobs))
+	insts := make([]obs.Snapshot, len(jobs))
 	if err := p.engine().Map(len(jobs), func(i int) error {
 		st, err := bfetchStats(configs[i/len(ws)], ws[i%len(ws)], p.Opts)
 		if err != nil {
@@ -202,10 +204,10 @@ func runExtDepth(p Params) ([]*stats.Table, error) {
 			}
 			speedup = append(speedup, o.Result.IPC[0]/base[wi].IPC[0])
 			st := insts[ti*len(ws)+wi]
-			steps += st.LookaheadSteps
-			starts += st.LookaheadStarts
-			stopsConf += st.LookaheadStops
-			stopsBrtc += st.BrTCMisses
+			steps += bfetchMetric(st, "lookahead_steps")
+			starts += bfetchMetric(st, "lookahead_starts")
+			stopsConf += bfetchMetric(st, "lookahead_stops")
+			stopsBrtc += bfetchMetric(st, "brtc_misses")
 		}
 		avg := 0.0
 		if starts > 0 {

@@ -69,7 +69,7 @@ func runFig1(p Params) ([]*stats.Table, error) {
 		sim.Default(sim.PFSMS),
 		sim.Default(sim.PFPerfect),
 	}
-	data, err := speedups(p, base, configs)
+	data, lcs, err := speedups(p, base, configs)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +83,9 @@ func runFig1(p Params) ([]*stats.Table, error) {
 	for wi, name := range ws {
 		sens.AddRow(name, data[2][wi], fmt.Sprint(data[2][wi] > 1.05))
 	}
-	return []*stats.Table{t, sens}, nil
+	lt := lifecycleTable("Figure 1 (obs): prefetch lifecycle by engine",
+		[]string{"Stride", "SMS", "Perfect"}, lcs)
+	return []*stats.Table{t, sens, lt}, nil
 }
 
 func runFig8(p Params) ([]*stats.Table, error) {
@@ -93,13 +95,15 @@ func runFig8(p Params) ([]*stats.Table, error) {
 		sim.Default(sim.PFSMS),
 		sim.Default(sim.PFBFetch),
 	}
-	data, err := speedups(p, base, configs)
+	data, lcs, err := speedups(p, base, configs)
 	if err != nil {
 		return nil, err
 	}
 	t := speedupTable("Figure 8: single-threaded speedups", p.workloads(),
 		[]string{"Stride", "SMS", "Bfetch"}, data)
-	return []*stats.Table{t}, nil
+	lt := lifecycleTable("Figure 8 (obs): prefetch lifecycle by engine",
+		[]string{"Stride", "SMS", "Bfetch"}, lcs)
+	return []*stats.Table{t, lt}, nil
 }
 
 func runFig11(p Params) ([]*stats.Table, error) {
@@ -122,8 +126,11 @@ func runFig11(p Params) ([]*stats.Table, error) {
 			if o.Err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", kinds[i], name, o.Err)
 			}
-			row[2*i] = o.Result.L1D[0].PrefetchUseful
-			row[2*i+1] = o.Result.L1D[0].PrefetchUseless
+			// Sourced from the lifecycle classifier (useful = timely + late),
+			// which TestLifecycleMatchesCacheStats pins to the L1D counters.
+			lc := o.Result.Lifecycle[0]
+			row[2*i] = lc.Useful()
+			row[2*i+1] = lc.UselessEvicted
 		}
 		p.logf("  %-12s sms %d/%d bfetch %d/%d", name, row[0], row[1], row[2], row[3])
 		for i := range totals {
@@ -144,13 +151,15 @@ func runFig12(p Params) ([]*stats.Table, error) {
 		cfg.BFetch.PathThreshold = th
 		configs = append(configs, cfg)
 	}
-	data, err := speedups(p, base, configs)
+	data, lcs, err := speedups(p, base, configs)
 	if err != nil {
 		return nil, err
 	}
 	t := speedupTable("Figure 12: branch confidence threshold sensitivity", p.workloads(),
 		[]string{"Conf=0.45", "Conf=0.75", "Conf=0.90"}, data)
-	return []*stats.Table{t}, nil
+	lt := lifecycleTable("Figure 12 (obs): prefetch lifecycle by threshold",
+		[]string{"Conf=0.45", "Conf=0.75", "Conf=0.90"}, lcs)
+	return []*stats.Table{t, lt}, nil
 }
 
 func runFig13(p Params) ([]*stats.Table, error) {
@@ -269,12 +278,13 @@ func runFig15(p Params) ([]*stats.Table, error) {
 		kb := float64(storageOf(cfg)) / 8 / 1024
 		names = append(names, fmt.Sprintf("%.2fKB", kb))
 	}
-	data, err := speedups(p, base, configs)
+	data, lcs, err := speedups(p, base, configs)
 	if err != nil {
 		return nil, err
 	}
 	t := speedupTable("Figure 15: B-Fetch storage sensitivity", p.workloads(), names, data)
-	return []*stats.Table{t}, nil
+	lt := lifecycleTable("Figure 15 (obs): prefetch lifecycle by storage budget", names, lcs)
+	return []*stats.Table{t, lt}, nil
 }
 
 func runAblation(p Params) ([]*stats.Table, error) {
@@ -293,11 +303,12 @@ func runAblation(p Params) ([]*stats.Table, error) {
 	privateBP.BFetch.PrivatePredictor = true
 
 	configs := []sim.Config{full, noFilter, noLoop, noPatt, commitARF, privateBP}
-	data, err := speedups(p, base, configs)
+	data, lcs, err := speedups(p, base, configs)
 	if err != nil {
 		return nil, err
 	}
-	t := speedupTable("Ablations: B-Fetch design choices", p.workloads(),
-		[]string{"full", "no-filter", "no-loop", "no-patterns", "commit-ARF", "private-bp"}, data)
-	return []*stats.Table{t}, nil
+	series := []string{"full", "no-filter", "no-loop", "no-patterns", "commit-ARF", "private-bp"}
+	t := speedupTable("Ablations: B-Fetch design choices", p.workloads(), series, data)
+	lt := lifecycleTable("Ablations (obs): prefetch lifecycle by variant", series, lcs)
+	return []*stats.Table{t, lt}, nil
 }

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -200,12 +201,14 @@ func (p Params) baselineResults(cfg sim.Config, names []string) ([]sim.Result, e
 // speedups measures per-workload speedups of each configuration over the
 // baseline configuration. All points are submitted as one batch — baseline
 // results come from the shared store — and the result is assembled in
-// submission order, indexed [config][workload order].
-func speedups(p Params, baseline sim.Config, configs []sim.Config) ([][]float64, error) {
+// submission order, indexed [config][workload order]. The second return is
+// each configuration's prefetch lifecycle breakdown summed over workloads,
+// for the accuracy/coverage/timeliness table every speedup figure emits.
+func speedups(p Params, baseline sim.Config, configs []sim.Config) ([][]float64, []obs.LifecycleStats, error) {
 	ws := p.workloads()
 	base, err := p.baselineResults(baseline, ws)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	jobs := make([]runner.Job, 0, len(configs)*len(ws))
 	for _, cfg := range configs {
@@ -216,14 +219,18 @@ func speedups(p Params, baseline sim.Config, configs []sim.Config) ([][]float64,
 	outs := p.engine().RunAll(jobs)
 
 	out := make([][]float64, len(configs))
+	lcs := make([]obs.LifecycleStats, len(configs))
 	for ci, cfg := range configs {
 		out[ci] = make([]float64, len(ws))
 		for wi, name := range ws {
 			o := outs[ci*len(ws)+wi]
 			if o.Err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", label(cfg, ci), name, o.Err)
+				return nil, nil, fmt.Errorf("%s on %s: %w", label(cfg, ci), name, o.Err)
 			}
 			out[ci][wi] = o.Result.IPC[0] / base[wi].IPC[0]
+			for _, lc := range o.Result.Lifecycle {
+				lcs[ci].Add(lc)
+			}
 		}
 	}
 	for wi, name := range ws {
@@ -231,7 +238,23 @@ func speedups(p Params, baseline sim.Config, configs []sim.Config) ([][]float64,
 			p.logf("  %-12s %-8s speedup %.3f", name, label(cfg, ci), out[ci][wi])
 		}
 	}
-	return out, nil
+	return out, lcs, nil
+}
+
+// lifecycleTable renders the per-engine prefetch lifecycle report: raw
+// classification counts plus the paper's three quality ratios. The counts
+// come from the unified obs registry, so this table, the JSON run reports
+// and the live endpoint all agree by construction.
+func lifecycleTable(title string, series []string, lcs []obs.LifecycleStats) *stats.Table {
+	t := stats.NewTable(title,
+		"engine", "issued", "useful_timely", "useful_late", "useless_evicted",
+		"polluting", "accuracy", "coverage", "timeliness")
+	for i, name := range series {
+		lc := lcs[i]
+		t.AddRow(name, lc.Issued, lc.UsefulTimely, lc.UsefulLate, lc.UselessEvicted,
+			lc.Polluting, lc.Accuracy(), lc.Coverage(), lc.Timeliness())
+	}
+	return t
 }
 
 func label(cfg sim.Config, i int) string {

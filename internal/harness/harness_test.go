@@ -52,7 +52,7 @@ func TestFig1Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 2 {
+	if len(tables) != 3 {
 		t.Fatalf("fig1 returned %d tables", len(tables))
 	}
 	main := tables[0].String()
@@ -71,6 +71,11 @@ func TestFig1Shape(t *testing.T) {
 	aux := tables[1].String()
 	if !strings.Contains(aux, "false") || !strings.Contains(aux, "true") {
 		t.Errorf("sensitivity classification degenerate:\n%s", aux)
+	}
+	// The lifecycle table reports per-engine classification and ratios.
+	lt := tables[2].String()
+	if !strings.Contains(lt, "accuracy") || !strings.Contains(lt, "Stride") {
+		t.Errorf("lifecycle table malformed:\n%s", lt)
 	}
 }
 

@@ -20,7 +20,10 @@
 // (see the ext-isb experiment).
 package isb
 
-import "repro/internal/prefetch"
+import (
+	"repro/internal/obs"
+	"repro/internal/prefetch"
+)
 
 // Config sizes the prefetcher.
 type Config struct {
@@ -143,6 +146,13 @@ func (p *ISB) Idle() bool { return p.queue.Len() == 0 }
 func (p *ISB) ResetStats() {
 	p.TrainedPairs, p.MetaOverflows = 0, 0
 	p.queue.ResetStats()
+}
+
+// RegisterObs exports the engine's counters into the metrics registry.
+func (p *ISB) RegisterObs(reg *obs.Registry, prefix string) {
+	reg.Func(prefix+"trained_pairs", func() uint64 { return p.TrainedPairs })
+	reg.Func(prefix+"meta_overflows", func() uint64 { return p.MetaOverflows })
+	p.queue.RegisterObs(reg, prefix)
 }
 
 // StorageBits reports the meta-data footprint: each mapping costs a

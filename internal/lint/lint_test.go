@@ -167,6 +167,62 @@ func TestStatsResetMutation(t *testing.T) {
 	}
 }
 
+// obsLikeSrc mirrors the observability registry's hot-path instruments: a
+// fixed-slot counter increment and a ring-buffer trace append, both under
+// //bfetch:hotpath. The mutation test plants the easiest regression to make
+// there — allocating inside the increment — and requires the hotpath
+// analyzer to catch it, witnessing that the obs instruments are inside the
+// lint contract rather than merely absent from its findings.
+const obsLikeSrc = `package obs
+
+type Counter struct{ v *uint64 }
+
+//bfetch:hotpath
+func (c Counter) Inc() { *c.v++ }
+
+type Trace struct {
+	buf  []uint64
+	w, n int
+}
+
+//bfetch:hotpath
+func (t *Trace) Record(v uint64) {
+	if t == nil {
+		return
+	}
+	t.buf[t.w] = v
+	t.w++
+	if t.w == len(t.buf) {
+		t.w = 0
+	}
+}
+`
+
+func TestObsHotpathMutation(t *testing.T) {
+	p, err := ParseSource("obs.go", obsLikeSrc)
+	if err != nil {
+		t.Fatalf("parsing clean source: %v", err)
+	}
+	if diags := Hotpath(p, buildModuleIndex([]*Package{p})); len(diags) != 0 {
+		t.Fatalf("clean obs-like source produced findings: %v", diags)
+	}
+
+	mutated := strings.Replace(obsLikeSrc,
+		"func (c Counter) Inc() { *c.v++ }",
+		"func (c Counter) Inc() { *c.v++; _ = make([]uint64, 4) }", 1)
+	if mutated == obsLikeSrc {
+		t.Fatal("mutation did not apply; fixture drifted")
+	}
+	p, err = ParseSource("obs.go", mutated)
+	if err != nil {
+		t.Fatalf("parsing mutated source: %v", err)
+	}
+	diags := Hotpath(p, buildModuleIndex([]*Package{p}))
+	if len(diags) != 1 {
+		t.Fatalf("mutated source: got %d findings, want exactly 1: %v", len(diags), diags)
+	}
+}
+
 // TestNoresetMutationAlsoGuardsMarkers checks the symmetric direction:
 // removing a //bfetch:noreset annotation (without adding the reset) must
 // surface the field.

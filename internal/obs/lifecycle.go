@@ -1,0 +1,221 @@
+package obs
+
+// Prefetch lifecycle classification. Every prefetch fill that installs a
+// block is tracked from issue to its terminal transition, and classified:
+//
+//	issued ──► first demand touch, fill complete ─────────► useful (timely)
+//	       ──► first demand touch, fill still in flight ──► useful (late)
+//	       ──► evicted untouched ─────────────────────────► useless
+//
+// and, orthogonally, a demand re-miss of a block that a prefetch fill
+// evicted is counted as pollution. Pollution is detected with a bounded
+// direct-mapped victim table: when a prefetch fill evicts a valid block we
+// record the victim's address; a later demand miss that matches consumes
+// the entry. The table is a fixed 1024-entry array — deterministic,
+// allocation-free, and (like the cache contents it mirrors) deliberately
+// NOT cleared by stats resets, so a victim evicted during warmup whose
+// re-miss lands in the measurement window is still attributed.
+//
+// The hooks are called from the cache's //bfetch:hotpath access path; all
+// are nil-receiver safe so an un-instrumented cache pays one predictable
+// branch, and none allocates.
+
+// victimBits sizes the pollution victim table: 2^victimBits entries.
+const victimBits = 10
+
+// victimHash spreads block addresses over the table (Fibonacci hashing).
+//
+//bfetch:hotpath
+func victimHash(blockAddr uint64) uint64 {
+	return (blockAddr * 0x9E3779B97F4A7C15) >> (64 - victimBits)
+}
+
+// LifecycleStats is one engine's lifecycle breakdown over a measurement
+// window. It is plain data (copyable, comparable with reflect.DeepEqual)
+// so it can ride inside sim.Result.
+type LifecycleStats struct {
+	Issued         uint64 `json:"issued"`          // prefetch fills installed in the L1D
+	UsefulTimely   uint64 `json:"useful_timely"`   // first demand touch after the fill completed
+	UsefulLate     uint64 `json:"useful_late"`     // first demand touch while the fill was in flight
+	UselessEvicted uint64 `json:"useless_evicted"` // evicted untouched
+	Polluting      uint64 `json:"polluting"`       // demand re-miss of a block a prefetch fill evicted
+	DemandMisses   uint64 `json:"demand_misses"`   // demand misses (denominator for coverage)
+}
+
+// Useful returns all demand-touched prefetches, timely or late.
+func (s LifecycleStats) Useful() uint64 { return s.UsefulTimely + s.UsefulLate }
+
+// Accuracy is useful prefetches per issued prefetch.
+func (s LifecycleStats) Accuracy() float64 {
+	if s.Issued == 0 {
+		return 0
+	}
+	return float64(s.Useful()) / float64(s.Issued)
+}
+
+// Coverage is the fraction of would-be demand misses a timely prefetch
+// eliminated: timely / (timely + remaining demand misses).
+func (s LifecycleStats) Coverage() float64 {
+	d := s.UsefulTimely + s.DemandMisses
+	if d == 0 {
+		return 0
+	}
+	return float64(s.UsefulTimely) / float64(d)
+}
+
+// Timeliness is the fraction of useful prefetches that completed before
+// their demand arrived.
+func (s LifecycleStats) Timeliness() float64 {
+	if s.Useful() == 0 {
+		return 0
+	}
+	return float64(s.UsefulTimely) / float64(s.Useful())
+}
+
+// Add accumulates o (for multi-core and cross-workload aggregation).
+func (s *LifecycleStats) Add(o LifecycleStats) {
+	s.Issued += o.Issued
+	s.UsefulTimely += o.UsefulTimely
+	s.UsefulLate += o.UsefulLate
+	s.UselessEvicted += o.UselessEvicted
+	s.Polluting += o.Polluting
+	s.DemandMisses += o.DemandMisses
+}
+
+// Lifecycle classifies one L1D's prefetches. Construct with NewLifecycle;
+// a nil *Lifecycle is a valid no-op sink for every hook.
+type Lifecycle struct {
+	issued         Counter
+	usefulTimely   Counter
+	usefulLate     Counter
+	uselessEvicted Counter
+	polluting      Counter
+	demandMisses   Counter
+	resident       Histogram // cycles from fill completion to first use / eviction
+
+	victims [1 << victimBits]uint64 // victim blockAddr+1, or 0
+
+	tr *Trace // optional sampled event sink; nil-safe
+}
+
+// NewLifecycle registers the lifecycle metrics under prefix (e.g. "c0.pf.")
+// and returns the classifier.
+func NewLifecycle(reg *Registry, prefix string) *Lifecycle {
+	return &Lifecycle{
+		issued:         reg.Counter(prefix + "issued"),
+		usefulTimely:   reg.Counter(prefix + "useful_timely"),
+		usefulLate:     reg.Counter(prefix + "useful_late"),
+		uselessEvicted: reg.Counter(prefix + "useless_evicted"),
+		polluting:      reg.Counter(prefix + "polluting"),
+		demandMisses:   reg.Counter(prefix + "demand_misses"),
+		resident:       reg.Histogram(prefix + "resident_cycles"),
+	}
+}
+
+// SetTrace attaches a sampled event sink (nil detaches).
+func (lc *Lifecycle) SetTrace(tr *Trace) { lc.tr = tr }
+
+// CarryIn credits n prefetches to the issued count. Called after a stats
+// reset with the number of still-resident untouched prefetched blocks, so a
+// prefetch filled during warmup whose first touch (or eviction) lands in
+// the measurement window is attributed to a window that also counts its
+// issue — keeping useful+useless <= issued an invariant of every window,
+// which the run-report validator enforces.
+func (lc *Lifecycle) CarryIn(n uint64) {
+	if lc == nil || n == 0 {
+		return
+	}
+	lc.issued.Add(n)
+}
+
+// Stats returns the current breakdown.
+func (lc *Lifecycle) Stats() LifecycleStats {
+	if lc == nil {
+		return LifecycleStats{}
+	}
+	return LifecycleStats{
+		Issued:         lc.issued.Value(),
+		UsefulTimely:   lc.usefulTimely.Value(),
+		UsefulLate:     lc.usefulLate.Value(),
+		UselessEvicted: lc.uselessEvicted.Value(),
+		Polluting:      lc.polluting.Value(),
+		DemandMisses:   lc.demandMisses.Value(),
+	}
+}
+
+// Issued records a prefetch fill installing a block.
+//
+//bfetch:hotpath
+func (lc *Lifecycle) Issued(pc, blockAddr, now uint64) {
+	if lc == nil {
+		return
+	}
+	lc.issued.Inc()
+	lc.tr.Record(KindPrefIssue, pc, blockAddr, now)
+}
+
+// Used records the first demand touch of a prefetched block. readyAt is the
+// block's fill-completion cycle; late reports whether the demand had to
+// wait on the in-flight fill beyond the hit latency.
+//
+//bfetch:hotpath
+func (lc *Lifecycle) Used(pc, blockAddr, now, readyAt uint64, late bool) {
+	if lc == nil {
+		return
+	}
+	if late {
+		lc.usefulLate.Inc()
+		lc.tr.Record(KindPrefLate, pc, blockAddr, now)
+		return
+	}
+	lc.usefulTimely.Inc()
+	if now > readyAt {
+		lc.resident.Observe(now - readyAt)
+	} else {
+		lc.resident.Observe(0)
+	}
+	lc.tr.Record(KindPrefUse, pc, blockAddr, now)
+}
+
+// Evicted records a prefetched block leaving the cache untouched.
+//
+//bfetch:hotpath
+func (lc *Lifecycle) Evicted(pc, blockAddr, now, readyAt uint64) {
+	if lc == nil {
+		return
+	}
+	lc.uselessEvicted.Inc()
+	if now > readyAt {
+		lc.resident.Observe(now - readyAt)
+	}
+	lc.tr.Record(KindPrefEvict, pc, blockAddr, now)
+}
+
+// FillVictim records that a prefetch fill evicted a valid block, arming the
+// pollution detector for that address.
+//
+//bfetch:hotpath
+func (lc *Lifecycle) FillVictim(victimBlockAddr uint64) {
+	if lc == nil {
+		return
+	}
+	lc.victims[victimHash(victimBlockAddr)] = victimBlockAddr + 1
+}
+
+// DemandMiss records a demand (read or write) miss; if the address matches
+// an armed victim entry, the miss is attributed to prefetch pollution and
+// the entry is consumed.
+//
+//bfetch:hotpath
+func (lc *Lifecycle) DemandMiss(pc, blockAddr, now uint64) {
+	if lc == nil {
+		return
+	}
+	lc.demandMisses.Inc()
+	h := victimHash(blockAddr)
+	if lc.victims[h] == blockAddr+1 {
+		lc.victims[h] = 0
+		lc.polluting.Inc()
+		lc.tr.Record(KindPrefPollute, pc, blockAddr, now)
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import "testing"
+
+func newTestLifecycle(t *testing.T) (*Lifecycle, *Registry) {
+	t.Helper()
+	reg := NewRegistry()
+	return NewLifecycle(reg, "pf."), reg
+}
+
+// TestLifecycleTimelyVsLate drives the classifier with hand-built sequences:
+// a prefetch whose fill completed before the demand arrived is timely; one
+// the demand had to wait on is late.
+func TestLifecycleTimelyVsLate(t *testing.T) {
+	lc, _ := newTestLifecycle(t)
+
+	// Timely: filled at cycle 10, ready at 210, first touch at 500.
+	lc.Issued(0x100, 0xA0, 10)
+	lc.Used(0x100, 0xA0, 500, 210, false)
+
+	// Late: filled at cycle 20, ready at 220, demand arrived at 30.
+	lc.Issued(0x104, 0xB0, 20)
+	lc.Used(0x104, 0xB0, 30, 220, true)
+
+	st := lc.Stats()
+	want := LifecycleStats{Issued: 2, UsefulTimely: 1, UsefulLate: 1}
+	if st != want {
+		t.Errorf("stats = %+v, want %+v", st, want)
+	}
+	if st.Useful() != 2 {
+		t.Errorf("Useful = %d, want 2", st.Useful())
+	}
+	if acc := st.Accuracy(); acc != 1.0 {
+		t.Errorf("Accuracy = %v, want 1", acc)
+	}
+	if tml := st.Timeliness(); tml != 0.5 {
+		t.Errorf("Timeliness = %v, want 0.5", tml)
+	}
+}
+
+// TestLifecycleUselessVsPolluting distinguishes a prefetch evicted untouched
+// (useless) from one whose fill displaced a block the program still needed
+// (polluting).
+func TestLifecycleUselessVsPolluting(t *testing.T) {
+	lc, _ := newTestLifecycle(t)
+
+	// Useless: issued, never touched, evicted.
+	lc.Issued(0x100, 0xA0, 10)
+	lc.Evicted(0x100, 0xA0, 900, 210)
+
+	// Polluting: the fill of 0xB0 evicts victim 0xC0; the demand re-miss of
+	// 0xC0 is attributed to pollution and consumes the armed entry.
+	lc.Issued(0x104, 0xB0, 20)
+	lc.FillVictim(0xC0)
+	lc.DemandMiss(0x200, 0xC0, 400)
+	lc.DemandMiss(0x200, 0xC0, 800) // second miss: entry consumed, not pollution
+
+	// An unrelated demand miss never counts as pollution.
+	lc.DemandMiss(0x300, 0xD0, 500)
+
+	st := lc.Stats()
+	want := LifecycleStats{Issued: 2, UselessEvicted: 1, Polluting: 1, DemandMisses: 3}
+	if st != want {
+		t.Errorf("stats = %+v, want %+v", st, want)
+	}
+	if acc := st.Accuracy(); acc != 0 {
+		t.Errorf("Accuracy = %v, want 0", acc)
+	}
+}
+
+func TestLifecycleCoverage(t *testing.T) {
+	lc, _ := newTestLifecycle(t)
+	// 3 timely prefetches against 9 remaining demand misses: coverage 0.25.
+	for i := uint64(0); i < 3; i++ {
+		lc.Issued(0x100, 0xA0+i, i)
+		lc.Used(0x100, 0xA0+i, 100+i, 50, false)
+	}
+	for i := uint64(0); i < 9; i++ {
+		lc.DemandMiss(0x200, 0xF000+i*64, 200+i)
+	}
+	if cov := lc.Stats().Coverage(); cov != 0.25 {
+		t.Errorf("Coverage = %v, want 0.25", cov)
+	}
+}
+
+// TestLifecycleCarryIn checks the window-boundary rule: crediting carried-in
+// prefetches keeps useful+useless ≤ issued after a reset.
+func TestLifecycleCarryIn(t *testing.T) {
+	reg := NewRegistry()
+	lc := NewLifecycle(reg, "pf.")
+	lc.Issued(0x100, 0xA0, 10)
+
+	reg.Reset() // window boundary: issued count zeroed
+	lc.CarryIn(1)
+	lc.Used(0x100, 0xA0, 500, 210, false)
+
+	st := lc.Stats()
+	if st.Issued != 1 || st.UsefulTimely != 1 {
+		t.Errorf("after carry-in: %+v, want issued 1, timely 1", st)
+	}
+	if st.Useful() > st.Issued {
+		t.Errorf("useful %d exceeds issued %d despite carry-in", st.Useful(), st.Issued)
+	}
+
+	// A nil classifier accepts every hook, including CarryIn.
+	var nilLC *Lifecycle
+	nilLC.CarryIn(3)
+	nilLC.Issued(0, 0, 0)
+	nilLC.Used(0, 0, 0, 0, false)
+	nilLC.Evicted(0, 0, 0, 0)
+	nilLC.FillVictim(0)
+	nilLC.DemandMiss(0, 0, 0)
+	if got := nilLC.Stats(); got != (LifecycleStats{}) {
+		t.Errorf("nil lifecycle stats = %+v", got)
+	}
+}
+
+// TestLifecycleVictimSurvivesReset pins the documented asymmetry: counters
+// reset with the registry, but the pollution victim table mirrors cache
+// contents and survives, so a warmup-era eviction still attributes a
+// measurement-window re-miss.
+func TestLifecycleVictimSurvivesReset(t *testing.T) {
+	reg := NewRegistry()
+	lc := NewLifecycle(reg, "pf.")
+	lc.FillVictim(0xC0)
+	reg.Reset()
+	lc.DemandMiss(0x200, 0xC0, 400)
+	if st := lc.Stats(); st.Polluting != 1 {
+		t.Errorf("polluting = %d, want 1 (victim table must survive reset)", st.Polluting)
+	}
+}

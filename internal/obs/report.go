@@ -1,0 +1,182 @@
+package obs
+
+// Structured run reports. Each executed simulation can emit one RunReport —
+// the metrics-registry snapshot, the per-engine lifecycle breakdown, and
+// the run's simulation throughput — and a batch collects them into a
+// RunsFile. The live introspection endpoint serves a Status document. All
+// three are versioned by a schema tag, and ValidateReport checks any of
+// them: the obs-smoke CI target round-trips a real run through it.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Schema tags.
+const (
+	SchemaRun    = "bfetch-obs-run/v1"
+	SchemaRuns   = "bfetch-obs/v1"
+	SchemaStatus = "bfetch-obs-status/v1"
+)
+
+// RunReport is one executed simulation's observability record.
+type RunReport struct {
+	Schema string   `json:"schema"` // SchemaRun
+	Engine string   `json:"engine"` // prefetcher kind
+	Apps   []string `json:"apps"`   // one workload per core
+
+	Cycles uint64    `json:"cycles"` // measured-window cycles
+	Insts  uint64    `json:"insts"`  // committed instructions, all cores
+	IPC    []float64 `json:"ipc"`    // per core
+
+	Lifecycle LifecycleStats   `json:"lifecycle"`           // summed over cores
+	PerCore   []LifecycleStats `json:"per_core,omitempty"`  // per-core breakdown (multi-core runs)
+	Accuracy  float64          `json:"accuracy"`
+	Coverage  float64          `json:"coverage"`
+	Timeliness float64         `json:"timeliness"`
+
+	Metrics Snapshot `json:"metrics"` // full registry snapshot
+
+	WallSeconds   float64 `json:"wall_seconds"`        // inside sim.Run
+	KCyclesPerSec float64 `json:"sim_kcycles_per_sec"` // cycles / wall
+}
+
+// Finalize fills the derived fields (aggregate lifecycle and its ratios,
+// throughput) from the raw ones; call after populating PerCore, Cycles and
+// WallSeconds.
+func (r *RunReport) Finalize() {
+	r.Schema = SchemaRun
+	r.Lifecycle = LifecycleStats{}
+	for _, lc := range r.PerCore {
+		r.Lifecycle.Add(lc)
+	}
+	if len(r.PerCore) == 1 {
+		r.PerCore = nil // redundant with the aggregate
+	}
+	r.Accuracy = r.Lifecycle.Accuracy()
+	r.Coverage = r.Lifecycle.Coverage()
+	r.Timeliness = r.Lifecycle.Timeliness()
+	if r.WallSeconds > 0 {
+		r.KCyclesPerSec = float64(r.Cycles) / 1e3 / r.WallSeconds
+	}
+}
+
+// RunsFile is the batch-level sink: every executed run's report, in
+// completion order, with the batch's sampled-trace accounting if a tracer
+// was attached.
+type RunsFile struct {
+	Schema    string      `json:"schema"` // SchemaRuns
+	Generated string      `json:"generated,omitempty"`
+	Loop      string      `json:"loop,omitempty"`
+	Runs      []RunReport `json:"runs"`
+}
+
+// Status is the live introspection document served at /obs.
+type Status struct {
+	Schema     string `json:"schema"` // SchemaStatus
+	Experiment string `json:"experiment,omitempty"`
+
+	JobsDone  uint64 `json:"jobs_done"`
+	JobsTotal uint64 `json:"jobs_total"`
+
+	Runs        uint64  `json:"runs"`
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+	CkptHits    uint64  `json:"ckpt_hits"`
+	CkptMisses  uint64  `json:"ckpt_misses"`
+
+	SimCycles     uint64  `json:"sim_cycles"`
+	SimInsts      uint64  `json:"sim_insts"`
+	KCyclesPerSec float64 `json:"sim_kcycles_per_sec"`
+
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// CacheHitRate returns hits / (hits + misses), or 0.
+func (s Status) CacheHitRate() float64 {
+	if s.CacheHits+s.CacheMisses == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
+}
+
+// ValidateReport parses data as any of the three obs documents, dispatching
+// on the schema tag, and checks structural invariants. It returns the
+// schema found.
+func ValidateReport(data []byte) (string, error) {
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", fmt.Errorf("obs: not JSON: %w", err)
+	}
+	switch probe.Schema {
+	case SchemaRun:
+		var r RunReport
+		if err := json.Unmarshal(data, &r); err != nil {
+			return probe.Schema, fmt.Errorf("obs: malformed run report: %w", err)
+		}
+		return probe.Schema, validateRun(r)
+	case SchemaRuns:
+		var f RunsFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return probe.Schema, fmt.Errorf("obs: malformed runs file: %w", err)
+		}
+		if f.Runs == nil {
+			return probe.Schema, fmt.Errorf("obs: runs file has no runs array")
+		}
+		for i, r := range f.Runs {
+			if err := validateRun(r); err != nil {
+				return probe.Schema, fmt.Errorf("obs: run %d: %w", i, err)
+			}
+		}
+		return probe.Schema, nil
+	case SchemaStatus:
+		var s Status
+		if err := json.Unmarshal(data, &s); err != nil {
+			return probe.Schema, fmt.Errorf("obs: malformed status: %w", err)
+		}
+		if s.JobsDone > s.JobsTotal && s.JobsTotal != 0 {
+			return probe.Schema, fmt.Errorf("obs: status jobs_done %d > jobs_total %d", s.JobsDone, s.JobsTotal)
+		}
+		return probe.Schema, nil
+	case "":
+		return "", fmt.Errorf("obs: missing schema tag")
+	default:
+		return probe.Schema, fmt.Errorf("obs: unknown schema %q", probe.Schema)
+	}
+}
+
+// validateRun checks one run report's internal consistency.
+func validateRun(r RunReport) error {
+	if r.Schema != SchemaRun {
+		return fmt.Errorf("run schema is %q, want %q", r.Schema, SchemaRun)
+	}
+	if r.Engine == "" {
+		return fmt.Errorf("run has no engine")
+	}
+	if len(r.Apps) == 0 {
+		return fmt.Errorf("run has no apps")
+	}
+	lc := r.Lifecycle
+	if lc.Useful() > lc.Issued {
+		return fmt.Errorf("lifecycle: useful %d exceeds issued %d", lc.Useful(), lc.Issued)
+	}
+	if lc.UselessEvicted > lc.Issued {
+		return fmt.Errorf("lifecycle: useless %d exceeds issued %d", lc.UselessEvicted, lc.Issued)
+	}
+	for _, f := range []float64{r.Accuracy, r.Coverage, r.Timeliness} {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("lifecycle ratio %v out of [0,1]", f)
+		}
+	}
+	if len(r.Metrics.Samples) == 0 {
+		return fmt.Errorf("run has an empty metrics snapshot")
+	}
+	for i := 1; i < len(r.Metrics.Samples); i++ {
+		if r.Metrics.Samples[i-1].Name >= r.Metrics.Samples[i].Name {
+			return fmt.Errorf("metrics snapshot not sorted/unique at %q", r.Metrics.Samples[i].Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestTraceSamplingAndRing(t *testing.T) {
+	tr := NewTrace(4, 2) // keep 1 in 2, retain at most 4
+	for i := uint64(1); i <= 20; i++ {
+		tr.Record(KindPrefIssue, 0x100, i*64, i)
+	}
+	if tr.Seen() != 20 {
+		t.Errorf("Seen = %d, want 20", tr.Seen())
+	}
+	if tr.Kept() != 10 {
+		t.Errorf("Kept = %d, want 10", tr.Kept())
+	}
+	if tr.Len() != 4 {
+		t.Errorf("Len = %d, want 4 (ring capacity)", tr.Len())
+	}
+	evs := tr.Events(nil)
+	// The ring retains the newest 4 sampled transitions (every even i),
+	// oldest first: i = 14, 16, 18, 20.
+	want := []uint64{14, 16, 18, 20}
+	for i, e := range evs {
+		if e.Cycle != want[i] {
+			t.Errorf("event %d cycle = %d, want %d", i, e.Cycle, want[i])
+		}
+	}
+
+	tr.Reset()
+	if tr.Seen() != 0 || tr.Kept() != 0 || tr.Len() != 0 {
+		t.Errorf("after Reset: seen %d kept %d len %d", tr.Seen(), tr.Kept(), tr.Len())
+	}
+}
+
+// TestTraceDumpRoundTrip re-reads a dumped lifecycle trace with the
+// internal/trace reader: the prefetch kinds and their cycle stamps must
+// survive the binary encoding.
+func TestTraceDumpRoundTrip(t *testing.T) {
+	tr := NewTrace(16, 1)
+	records := []struct {
+		kind  trace.Kind
+		pc    uint64
+		addr  uint64
+		cycle uint64
+	}{
+		{KindPrefIssue, 0x400100, 0xA000, 17},
+		{KindPrefUse, 0x400100, 0xA000, 230},
+		{KindPrefLate, 0x400104, 0xB000, 231},
+		{KindPrefEvict, 0x400108, 0xC000, 900},
+		{KindPrefPollute, 0x40010C, 0xD000, 905},
+	}
+	for _, r := range records {
+		tr.Record(r.kind, r.pc, r.addr, r.cycle)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range records {
+		ev, err := rd.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if ev.Kind != want.kind || ev.PC != want.pc || ev.Addr != want.addr || ev.Cycle != want.cycle {
+			t.Errorf("record %d = %+v, want %+v", i, ev, want)
+		}
+		if !ev.Kind.IsPrefetch() {
+			t.Errorf("record %d kind %v not classified as prefetch", i, ev.Kind)
+		}
+	}
+	if _, err := rd.Read(); err == nil {
+		t.Error("expected EOF after last record")
+	}
+}
+
+func TestTraceNilAndZeroConfig(t *testing.T) {
+	var tr *Trace
+	tr.Record(KindPrefIssue, 1, 2, 3) // must not panic
+	if tr.Len() != 0 {
+		t.Errorf("nil trace Len = %d", tr.Len())
+	}
+	if got := tr.Events(nil); got != nil {
+		t.Errorf("nil trace Events = %v", got)
+	}
+
+	z := NewTrace(0, 0) // clamps to capacity 1, sample every 1
+	z.Record(KindPrefUse, 1, 2, 3)
+	if z.Len() != 1 || z.Kept() != 1 {
+		t.Errorf("clamped trace: len %d kept %d", z.Len(), z.Kept())
+	}
+}

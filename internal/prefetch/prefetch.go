@@ -5,7 +5,10 @@
 // (Chen & Baer, 1995), configured at degree 8 as in §V-A.
 package prefetch
 
-import "repro/internal/isa"
+import (
+	"repro/internal/isa"
+	"repro/internal/obs"
+)
 
 // DecodeInfo describes a control instruction leaving the decode stage; this
 // is the feed into B-Fetch's Decoded Branch Register. The front end annotates
@@ -183,6 +186,15 @@ func (q *Queue) PopCycle() []Request { return q.AppendPop(nil) }
 // ResetStats zeroes the queue's traffic counters without touching pending
 // requests.
 func (q *Queue) ResetStats() { q.Enqueued, q.DroppedFull, q.DroppedDup = 0, 0, 0 }
+
+// RegisterObs exports the queue's traffic counters into the metrics
+// registry under prefix; every engine's RegisterObs delegates here, so the
+// queue counters carry the same names for all of them.
+func (q *Queue) RegisterObs(reg *obs.Registry, prefix string) {
+	reg.Func(prefix+"q_enqueued", func() uint64 { return q.Enqueued })
+	reg.Func(prefix+"q_dropped_full", func() uint64 { return q.DroppedFull })
+	reg.Func(prefix+"q_dropped_dup", func() uint64 { return q.DroppedDup })
+}
 
 // Len returns the number of pending requests.
 func (q *Queue) Len() int { return len(q.buf) }

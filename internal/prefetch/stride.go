@@ -1,5 +1,7 @@
 package prefetch
 
+import "repro/internal/obs"
+
 // Stride is the reference-prediction-table prefetcher of Chen & Baer,
 // "Effective Hardware-Based Data Prefetching for High-Performance
 // Processors" (IEEE ToC 1995): per-load-PC entries track the last address
@@ -115,6 +117,11 @@ func (s *Stride) Idle() bool { return s.queue.Len() == 0 }
 // ResetStats zeroes the queue counters.
 func (s *Stride) ResetStats() { s.queue.ResetStats() }
 
+// RegisterObs exports the engine's counters into the metrics registry.
+func (s *Stride) RegisterObs(reg *obs.Registry, prefix string) {
+	s.queue.RegisterObs(reg, prefix)
+}
+
 // StorageBits: each entry holds a tag (32 bits of PC), last address
 // (42-bit block-aligned + offset ⇒ 48), stride (16) and 2-bit state.
 func (s *Stride) StorageBits() int {
@@ -156,5 +163,10 @@ func (p *NextN) Idle() bool { return p.queue.Len() == 0 }
 
 // ResetStats zeroes the queue counters.
 func (p *NextN) ResetStats() { p.queue.ResetStats() }
+
+// RegisterObs exports the engine's counters into the metrics registry.
+func (p *NextN) RegisterObs(reg *obs.Registry, prefix string) {
+	p.queue.RegisterObs(reg, prefix)
+}
 
 func (p *NextN) StorageBits() int { return p.queue.StorageBits() }

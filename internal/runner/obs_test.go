@@ -1,0 +1,116 @@
+package runner
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestObsSnapshotDeterminism is the scheduling-independence witness for the
+// observability layer specifically: the metrics snapshot and lifecycle
+// breakdown of every job must be bit-identical between -j 1 and -j N, for
+// both clock strategies.
+func TestObsSnapshotDeterminism(t *testing.T) {
+	for _, loop := range []sim.LoopMode{sim.LoopEvent, sim.LoopNaive} {
+		opts := tinyOpts()
+		opts.Loop = loop
+		var jobs []Job
+		for _, kind := range []sim.PrefetcherKind{sim.PFStride, sim.PFBFetch} {
+			for _, app := range []string{"mcf", "libquantum"} {
+				jobs = append(jobs, Solo(sim.Default(kind), app, opts))
+			}
+		}
+		seq := NewSequential().RunAll(jobs)
+		par := New(8).RunAll(jobs)
+		for i := range jobs {
+			if seq[i].Err != nil || par[i].Err != nil {
+				t.Fatalf("loop %v job %d: seq %v, par %v", loop, i, seq[i].Err, par[i].Err)
+			}
+			if !reflect.DeepEqual(seq[i].Result.Metrics, par[i].Result.Metrics) {
+				t.Errorf("loop %v job %d: metrics snapshot diverges between -j 1 and -j 8", loop, i)
+			}
+			if !reflect.DeepEqual(seq[i].Result.Lifecycle, par[i].Result.Lifecycle) {
+				t.Errorf("loop %v job %d: lifecycle diverges between -j 1 and -j 8", loop, i)
+			}
+			if len(seq[i].Result.Metrics.Samples) == 0 {
+				t.Errorf("loop %v job %d: empty metrics snapshot", loop, i)
+			}
+		}
+	}
+}
+
+func TestRunReportsCollection(t *testing.T) {
+	e := New(4)
+	if got := e.RunReports(); len(got) != 0 {
+		t.Fatalf("reports before enabling: %d", len(got))
+	}
+	e.SetRunReports(true)
+	jobs := []Job{
+		Solo(sim.Default(sim.PFStride), "mcf", tinyOpts()),
+		Solo(sim.Default(sim.PFBFetch), "libquantum", tinyOpts()),
+		Solo(sim.Default(sim.PFStride), "mcf", tinyOpts()), // cache hit: no new execution
+	}
+	outs := e.RunAll(jobs)
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+	}
+
+	reports := e.RunReports()
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d, want 2 (cache hits execute nothing)", len(reports))
+	}
+	engines := []string{reports[0].Engine, reports[1].Engine}
+	sort.Strings(engines)
+	if !reflect.DeepEqual(engines, []string{"bfetch", "stride"}) {
+		t.Errorf("report engines = %v", engines)
+	}
+	for _, r := range reports {
+		if r.Schema != obs.SchemaRun {
+			t.Errorf("report schema = %q", r.Schema)
+		}
+		if len(r.Metrics.Samples) == 0 {
+			t.Errorf("%s report has empty metrics", r.Engine)
+		}
+		if r.Cycles == 0 || r.WallSeconds <= 0 {
+			t.Errorf("%s report lacks throughput: cycles %d wall %v", r.Engine, r.Cycles, r.WallSeconds)
+		}
+	}
+
+	done, total := e.Progress()
+	if done != 3 || total != 3 {
+		t.Errorf("Progress = %d/%d, want 3/3", done, total)
+	}
+
+	e.SetRunReports(false)
+	if got := e.RunReports(); len(got) != 0 {
+		t.Errorf("reports after disabling: %d", len(got))
+	}
+}
+
+func TestBatchSummaryLogging(t *testing.T) {
+	var buf bytes.Buffer
+	e := New(2)
+	e.SetLog(&buf)
+	jobs := []Job{
+		Solo(sim.Default(sim.PFStride), "gamess", tinyOpts()),
+		Solo(sim.Default(sim.PFStride), "gamess", tinyOpts()),
+	}
+	e.RunAll(jobs)
+	if !strings.Contains(buf.String(), "batch of 2 done") {
+		t.Errorf("no batch summary in log:\n%s", buf.String())
+	}
+
+	// Disabling the cache with retained entries logs the bypass, and
+	// subsequent jobs log per-job bypass lines.
+	e.SetCache(false)
+	if !strings.Contains(buf.String(), "bypassed") {
+		t.Errorf("no bypass notice in log:\n%s", buf.String())
+	}
+}

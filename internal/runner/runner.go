@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/ckpt"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -105,6 +106,14 @@ type Engine struct {
 	simCycles, simInsts atomic.Uint64
 	emuInsts            atomic.Uint64
 	simNanos            atomic.Int64
+
+	// Batch progress, for live introspection: jobs submitted through
+	// RunAll/Run and jobs finished (from cache or simulation).
+	jobsTotal, jobsDone atomic.Uint64
+
+	repMu       sync.Mutex
+	keepReports bool
+	reports     []obs.RunReport
 }
 
 // entry is one memoized simulation point; done closes once res/err are set,
@@ -153,7 +162,45 @@ func (e *Engine) Sequential() bool { return e.seq }
 // SetCache enables or disables result memoization (enabled by default).
 // Disabling does not drop already-cached results; it only stops lookups
 // and insertions.
-func (e *Engine) SetCache(on bool) { e.noCache = !on }
+func (e *Engine) SetCache(on bool) {
+	if !on && !e.noCache {
+		e.mu.Lock()
+		retained := len(e.entries)
+		e.mu.Unlock()
+		if retained > 0 {
+			e.logf("runner: run-cache disabled; %d cached results retained but bypassed", retained)
+		}
+	}
+	e.noCache = !on
+}
+
+// SetRunReports enables collection of one obs.RunReport per executed
+// simulation (cache hits re-simulate nothing and contribute none). Off by
+// default — reports retain full metrics snapshots.
+func (e *Engine) SetRunReports(on bool) {
+	e.repMu.Lock()
+	e.keepReports = on
+	if !on {
+		e.reports = nil
+	}
+	e.repMu.Unlock()
+}
+
+// RunReports returns the collected reports, in completion order (which
+// varies with scheduling; consumers needing determinism sort or key them).
+func (e *Engine) RunReports() []obs.RunReport {
+	e.repMu.Lock()
+	defer e.repMu.Unlock()
+	out := make([]obs.RunReport, len(e.reports))
+	copy(out, e.reports)
+	return out
+}
+
+// Progress reports jobs finished and jobs submitted — the run-queue gauge
+// the live introspection endpoint polls.
+func (e *Engine) Progress() (done, total uint64) {
+	return e.jobsDone.Load(), e.jobsTotal.Load()
+}
 
 // SetLog directs per-job progress lines to w (nil disables). Writes are
 // serialized internally, so any Writer is acceptable.
@@ -188,16 +235,35 @@ func (e *Engine) Run(job Job) (sim.Result, error) {
 
 // RunAll executes the batch and returns one Outcome per job, in job order.
 // Identical jobs — within the batch or vs. earlier batches — simulate once.
+// At batch end a cache hit-rate summary is logged (when a log is attached).
 func (e *Engine) RunAll(jobs []Job) []Outcome {
+	before := e.Stats()
+	e.jobsTotal.Add(uint64(len(jobs)))
 	out := make([]Outcome, len(jobs))
 	if e.seq || e.workers == 1 || len(jobs) <= 1 {
 		for i, j := range jobs {
 			out[i] = e.runJob(j)
 		}
-		return out
+	} else {
+		e.fanOut(len(jobs), func(i int) { out[i] = e.runJob(jobs[i]) })
 	}
-	e.fanOut(len(jobs), func(i int) { out[i] = e.runJob(jobs[i]) })
+	e.logBatch(len(jobs), before, e.Stats())
 	return out
+}
+
+// logBatch emits the batch-end cache summary: how the run- and
+// checkpoint-caches performed over this batch alone.
+func (e *Engine) logBatch(jobs int, before, after Stats) {
+	hits := after.Hits - before.Hits
+	misses := after.Misses - before.Misses
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = 100 * float64(hits) / float64(hits+misses)
+	}
+	bypassed := uint64(jobs) - hits - misses
+	e.logf("runner: batch of %d done: run-cache %d hits / %d misses (%.0f%% hit rate), %d bypassed; ckpt %d hits / %d misses",
+		jobs, hits, misses, rate, bypassed,
+		after.CkptHits-before.CkptHits, after.CkptMisses-before.CkptMisses)
 }
 
 // Map runs fn(0..n-1) across the pool and returns the lowest-index error.
@@ -249,8 +315,14 @@ func (e *Engine) fanOut(n int, fn func(i int)) {
 // in-flight entry cannot deadlock: entries never depend on one another, so
 // the computing worker always makes progress.
 func (e *Engine) runJob(j Job) Outcome {
+	defer e.jobsDone.Add(1)
 	key, cacheable := Fingerprint(j.Cfg, j.Apps, j.Opts)
 	if !cacheable || e.noCache {
+		if e.noCache {
+			e.logf("runner: run-cache bypass (cache disabled): %s %v", j.Cfg.Prefetcher, j.Apps)
+		} else {
+			e.logf("runner: run-cache bypass (unfingerprintable config): %s %v", j.Cfg.Prefetcher, j.Apps)
+		}
 		return e.execute(j)
 	}
 	e.mu.Lock()
@@ -298,10 +370,33 @@ func (e *Engine) execute(j Job) Outcome {
 		}
 		e.simCycles.Add(cycles)
 		e.simInsts.Add(insts)
+		e.report(j, res, insts, elapsed)
 	}
 	e.logf("runner: %-8s %v done in %s", j.Cfg.Prefetcher, j.Apps,
 		elapsed.Round(time.Millisecond))
 	return Outcome{Result: res, Err: err}
+}
+
+// report records one executed run's observability document, if collection
+// is enabled.
+func (e *Engine) report(j Job, res sim.Result, insts uint64, elapsed time.Duration) {
+	e.repMu.Lock()
+	defer e.repMu.Unlock()
+	if !e.keepReports {
+		return
+	}
+	r := obs.RunReport{
+		Engine:      string(j.Cfg.Prefetcher),
+		Apps:        append([]string(nil), j.Apps...),
+		Cycles:      res.Cycles,
+		Insts:       insts,
+		IPC:         append([]float64(nil), res.IPC...),
+		PerCore:     append([]obs.LifecycleStats(nil), res.Lifecycle...),
+		Metrics:     res.Metrics,
+		WallSeconds: elapsed.Seconds(),
+	}
+	r.Finalize()
+	e.reports = append(e.reports, r)
 }
 
 // checkpoints resolves one cached checkpoint per application.

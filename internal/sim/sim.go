@@ -15,6 +15,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/isb"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/prefetch"
 	"repro/internal/sms"
 	"repro/internal/stems"
@@ -149,6 +150,16 @@ type System struct {
 	// Loop selects the clock-advance strategy; LoopAuto means DefaultLoop.
 	Loop LoopMode //bfetch:noreset configuration
 
+	// Reg is the system's unified metrics registry: every component —
+	// cores, caches, DRAM, prefetch engines, lifecycle classifiers —
+	// registers into it at assembly, and Snapshot/ResetStats cover it.
+	Reg *obs.Registry
+	// LCs holds one prefetch lifecycle classifier per core, attached to
+	// that core's L1D.
+	LCs []*obs.Lifecycle //bfetch:noreset counters live in Reg (reset there); the pollution victim table survives by design, like the cache contents it mirrors
+
+	tr *obs.Trace // optional sampled lifecycle trace, attached via SetTrace
+
 	clock     uint64 //bfetch:noreset global simulation clock, monotonic across the reset
 	statsBase uint64 // clock value at the last ResetStats
 }
@@ -210,7 +221,11 @@ func assemble(cfg Config, boots []boot) (*System, error) {
 		Latency: cfg.LLCLatency,
 	}, dram)
 
-	s := &System{Cfg: cfg, LLC: llc, DRAM: dram}
+	reg := obs.NewRegistry()
+	llc.RegisterObs(reg, "llc.")
+	dram.RegisterObs(reg, "dram.")
+
+	s := &System{Cfg: cfg, LLC: llc, DRAM: dram, Reg: reg}
 	for i, bt := range boots {
 		prog, image := bt.prog, bt.mem
 		hier := cache.NewHierarchy(cfg.Hier, llc, i)
@@ -250,11 +265,39 @@ func assemble(cfg Config, boots []boot) (*System, error) {
 		if bt.arch != nil {
 			c.BootArch(*bt.arch)
 		}
+
+		// Register the core's components and attach its lifecycle
+		// classifier. Every engine exports under the same "pf." namespace,
+		// so tables and JSON read one set of names regardless of engine.
+		prefix := fmt.Sprintf("c%d.", i)
+		c.RegisterObs(reg, prefix+"cpu.")
+		hier.L1D.RegisterObs(reg, prefix+"l1d.")
+		hier.L2.RegisterObs(reg, prefix+"l2.")
+		if r, ok := pf.(obs.Registrant); ok {
+			r.RegisterObs(reg, prefix+"pf.")
+		}
+		lc := obs.NewLifecycle(reg, prefix+"pf.")
+		hier.L1D.SetLifecycle(lc)
+		s.LCs = append(s.LCs, lc)
+
 		s.Cores = append(s.Cores, c)
 		s.PFs = append(s.PFs, pf)
 	}
 	return s, nil
 }
+
+// SetTrace attaches a sampled lifecycle event trace to every core's
+// classifier (nil detaches). The trace is reset alongside the counters at
+// ResetStats so it covers the measurement window only.
+func (s *System) SetTrace(tr *obs.Trace) {
+	s.tr = tr
+	for _, lc := range s.LCs {
+		lc.SetTrace(tr)
+	}
+}
+
+// Trace returns the attached lifecycle trace, if any.
+func (s *System) Trace() *obs.Trace { return s.tr }
 
 // feedbackAdapter routes L1D prefetch feedback into the prefetcher.
 type feedbackAdapter struct{ pf prefetch.Prefetcher }
@@ -406,6 +449,17 @@ func (s *System) ResetStats() {
 	}
 	s.LLC.Stats = cache.Stats{}
 	*s.DRAM = cache.DRAM{Latency: s.DRAM.Latency, CyclesPerFill: s.DRAM.CyclesPerFill}
+	s.Reg.Reset()
+	if s.tr != nil {
+		s.tr.Reset()
+	}
+	// Prefetched blocks resident but untouched at the window boundary will
+	// emit their useful/useless event inside the new window; credit their
+	// issue to it too, so windowed lifecycle counts stay internally
+	// consistent (useful+useless <= issued).
+	for i, c := range s.Cores {
+		s.LCs[i].CarryIn(c.Hierarchy().L1D.PendingPrefetched())
+	}
 	s.statsBase = s.clock
 }
 
@@ -417,6 +471,13 @@ type Result struct {
 	LLC    cache.Stats
 	DRAM   cache.DRAM
 	Cycles uint64
+
+	// Lifecycle is the per-core prefetch lifecycle breakdown and Metrics
+	// the full registry snapshot — both covered by the same bit-identity
+	// guarantees (naive vs event loop, -j 1 vs -j N) as every other field,
+	// since results are compared with reflect.DeepEqual in those tests.
+	Lifecycle []obs.LifecycleStats
+	Metrics   obs.Snapshot
 }
 
 // Snapshot collects the current counters. Cycles is relative to the last
@@ -428,6 +489,10 @@ func (s *System) Snapshot() Result {
 		res.Core = append(res.Core, c.Stats)
 		res.L1D = append(res.L1D, c.Hierarchy().L1D.Stats)
 	}
+	for _, lc := range s.LCs {
+		res.Lifecycle = append(res.Lifecycle, lc.Stats())
+	}
+	res.Metrics = s.Reg.Snapshot()
 	return res
 }
 
@@ -469,41 +534,56 @@ func DefaultRunOpts() RunOpts {
 // through internal/runner, whose checkpoint cache emulates each prefix once
 // and restores copy-on-write (bit-identically to this inline path).
 func Run(cfg Config, appNames []string, opts RunOpts) (Result, error) {
+	s, err := NewForRun(cfg, appNames, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return runProtocol(s, opts)
+}
+
+// RunTraced is Run with a sampled prefetch lifecycle trace attached for the
+// measurement window; the counters are bit-identical to Run (the tracer
+// only observes).
+func RunTraced(cfg Config, appNames []string, opts RunOpts, tr *obs.Trace) (Result, error) {
+	s, err := NewForRun(cfg, appNames, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	s.SetTrace(tr)
+	return runProtocol(s, opts)
+}
+
+// NewForRun assembles the system Run would execute the protocol on: the
+// named applications, fast-forwarded inline when the protocol asks for it.
+func NewForRun(cfg Config, appNames []string, opts RunOpts) (*System, error) {
 	apps := make([]workload.Workload, len(appNames))
 	for i, name := range appNames {
 		w, err := workload.ByName(name)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		apps[i] = w
 	}
 	cfg.Cores = len(apps)
 
-	var s *System
-	var err error
-	if opts.FastForwardInsts > 0 {
-		boots := make([]boot, len(apps))
-		for i, app := range apps {
-			prog, image := app.Build()
-			e := emu.New(prog, image)
-			if _, ferr := e.Run(opts.FastForwardInsts); ferr != nil {
-				return Result{}, fmt.Errorf("sim: fast-forward of %s: %w", appNames[i], ferr)
-			}
-			if e.Halted {
-				return Result{}, fmt.Errorf("sim: fast-forward of %s halted after %d of %d insts: nothing left to measure",
-					appNames[i], e.Retired, opts.FastForwardInsts)
-			}
-			a := e.Arch()
-			boots[i] = boot{prog: prog, mem: image, arch: &a}
+	if opts.FastForwardInsts == 0 {
+		return New(cfg, apps)
+	}
+	boots := make([]boot, len(apps))
+	for i, app := range apps {
+		prog, image := app.Build()
+		e := emu.New(prog, image)
+		if _, ferr := e.Run(opts.FastForwardInsts); ferr != nil {
+			return nil, fmt.Errorf("sim: fast-forward of %s: %w", appNames[i], ferr)
 		}
-		s, err = assemble(cfg, boots)
-	} else {
-		s, err = New(cfg, apps)
+		if e.Halted {
+			return nil, fmt.Errorf("sim: fast-forward of %s halted after %d of %d insts: nothing left to measure",
+				appNames[i], e.Retired, opts.FastForwardInsts)
+		}
+		a := e.Arch()
+		boots[i] = boot{prog: prog, mem: image, arch: &a}
 	}
-	if err != nil {
-		return Result{}, err
-	}
-	return runProtocol(s, opts)
+	return assemble(cfg, boots)
 }
 
 // RunCheckpointed executes the warmup+measure protocol from pre-built

@@ -17,7 +17,10 @@
 // for region eviction.
 package sms
 
-import "repro/internal/prefetch"
+import (
+	"repro/internal/obs"
+	"repro/internal/prefetch"
+)
 
 // Config sizes the prefetcher.
 type Config struct {
@@ -164,6 +167,13 @@ func (s *SMS) Idle() bool { return s.queue.Len() == 0 }
 func (s *SMS) ResetStats() {
 	s.Generations, s.PHTHits = 0, 0
 	s.queue.ResetStats()
+}
+
+// RegisterObs exports the engine's counters into the metrics registry.
+func (s *SMS) RegisterObs(reg *obs.Registry, prefix string) {
+	reg.Func(prefix+"generations", func() uint64 { return s.Generations })
+	reg.Func(prefix+"pht_hits", func() uint64 { return s.PHTHits })
+	s.queue.RegisterObs(reg, prefix)
 }
 
 // StorageBits reports SMS hardware state: AGT entries hold a region tag

@@ -23,7 +23,10 @@
 // exactly what plain SMS cannot do across region boundaries.
 package stems
 
-import "repro/internal/prefetch"
+import (
+	"repro/internal/obs"
+	"repro/internal/prefetch"
+)
 
 // Config sizes the prefetcher.
 type Config struct {
@@ -225,6 +228,13 @@ func (s *STeMS) Idle() bool { return s.queue.Len() == 0 }
 func (s *STeMS) ResetStats() {
 	s.TemporalHits, s.Generations = 0, 0
 	s.queue.ResetStats()
+}
+
+// RegisterObs exports the engine's counters into the metrics registry.
+func (s *STeMS) RegisterObs(reg *obs.Registry, prefix string) {
+	reg.Func(prefix+"temporal_hits", func() uint64 { return s.TemporalHits })
+	reg.Func(prefix+"generations", func() uint64 { return s.Generations })
+	s.queue.RegisterObs(reg, prefix)
 }
 
 // StorageBits reports total state including the temporal log the original

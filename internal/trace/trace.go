@@ -39,16 +39,33 @@ const (
 	KindStore
 	KindBranch // conditional branch
 	KindJump   // unconditional control (direct or indirect)
+
+	// Prefetch lifecycle kinds, emitted by the observability layer
+	// (internal/obs): one record per sampled lifecycle transition of a
+	// prefetched L1D block. Unlike the instruction kinds above they carry a
+	// cycle stamp; PC is the load the prefetch was issued on behalf of and
+	// Addr is the block address.
+	KindPrefIssue   // prefetch fill installed in the cache
+	KindPrefUse     // first demand touch of a prefetched block, fill complete
+	KindPrefLate    // first demand touch while the fill was still in flight
+	KindPrefEvict   // prefetched block evicted untouched
+	KindPrefPollute // demand re-miss of a block a prefetch fill evicted
 )
 
-// Event is one committed instruction worth tracing. Non-memory, non-control
-// instructions are not recorded (they carry no information the consumers
-// use); PC gaps are implicit in the records.
+// IsPrefetch reports whether the kind is a prefetch lifecycle record (cycle
+// stamped, block-addressed) rather than a committed-instruction record.
+func (k Kind) IsPrefetch() bool { return k >= KindPrefIssue && k <= KindPrefPollute }
+
+// Event is one committed instruction worth tracing, or one prefetch
+// lifecycle transition. Non-memory, non-control instructions are not
+// recorded (they carry no information the consumers use); PC gaps are
+// implicit in the records.
 type Event struct {
 	Kind  Kind
 	PC    uint64
-	Addr  uint64 // loads/stores: effective address
+	Addr  uint64 // loads/stores: effective address; prefetch kinds: block address
 	Taken bool   // branches: outcome
+	Cycle uint64 // prefetch kinds only: simulation cycle of the transition
 }
 
 // Writer encodes events to an underlying stream.
@@ -75,15 +92,18 @@ func (t *Writer) Write(e Event) error {
 	if t.err != nil {
 		return t.err
 	}
-	var buf [1 + binary.MaxVarintLen64*2]byte
+	var buf [1 + binary.MaxVarintLen64*3]byte
 	flags := byte(e.Kind) << 1
 	if e.Taken {
 		flags |= 1
 	}
 	buf[0] = flags
 	n := 1
+	if e.Kind.IsPrefetch() {
+		n += binary.PutUvarint(buf[n:], e.Cycle)
+	}
 	n += binary.PutUvarint(buf[n:], e.PC)
-	if e.Kind == KindLoad || e.Kind == KindStore {
+	if e.Kind == KindLoad || e.Kind == KindStore || e.Kind.IsPrefetch() {
 		n += binary.PutUvarint(buf[n:], e.Addr)
 	}
 	if _, err := t.w.Write(buf[:n]); err != nil {
@@ -133,13 +153,18 @@ func (t *Reader) Read() (Event, error) {
 		return Event{}, err // io.EOF propagates cleanly
 	}
 	e := Event{Kind: Kind(flags >> 1), Taken: flags&1 != 0}
-	if e.Kind < KindLoad || e.Kind > KindJump {
+	if e.Kind < KindLoad || e.Kind > KindPrefPollute {
 		return Event{}, fmt.Errorf("trace: invalid record kind %d", e.Kind)
+	}
+	if e.Kind.IsPrefetch() {
+		if e.Cycle, err = binary.ReadUvarint(t.r); err != nil {
+			return Event{}, fmt.Errorf("trace: truncated record: %w", err)
+		}
 	}
 	if e.PC, err = binary.ReadUvarint(t.r); err != nil {
 		return Event{}, fmt.Errorf("trace: truncated record: %w", err)
 	}
-	if e.Kind == KindLoad || e.Kind == KindStore {
+	if e.Kind == KindLoad || e.Kind == KindStore || e.Kind.IsPrefetch() {
 		if e.Addr, err = binary.ReadUvarint(t.r); err != nil {
 			return Event{}, fmt.Errorf("trace: truncated record: %w", err)
 		}

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — end-to-end smoke test of the observability layer.
+#
+# Builds the binaries, runs a tiny experiment batch with the live
+# introspection endpoint up, scrapes /obs and /obs/runs while the server
+# lingers, and validates every JSON document (scraped and written) against
+# the obs schemas with `bfetch-sim -validate-obs`. Run via `make obs-smoke`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"; [ -n "${bench_pid:-}" ] && kill "$bench_pid" 2>/dev/null || true' EXIT
+
+echo "== build"
+go build -o "$workdir/bfetch-bench" ./cmd/bfetch-bench
+go build -o "$workdir/bfetch-sim" ./cmd/bfetch-sim
+
+port=$((20000 + RANDOM % 20000))
+addr="127.0.0.1:$port"
+
+echo "== run tiny batch with -http $addr"
+"$workdir/bfetch-bench" -exp fig8 -workloads mcf,lbm -ff 0 \
+    -warmup 20000 -measure 20000 -q \
+    -http "$addr" -linger 30s -obsjson "$workdir/obs.json" \
+    >"$workdir/bench.out" 2>"$workdir/bench.err" &
+bench_pid=$!
+
+echo "== scrape endpoint"
+ok=""
+for _ in $(seq 1 50); do
+    if curl -sf "http://$addr/obs" -o "$workdir/status.json" 2>/dev/null; then
+        ok=1
+        break
+    fi
+    if ! kill -0 "$bench_pid" 2>/dev/null; then
+        echo "bfetch-bench exited before serving:" >&2
+        cat "$workdir/bench.err" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+if [ -z "$ok" ]; then
+    echo "endpoint $addr never came up" >&2
+    cat "$workdir/bench.err" >&2
+    exit 1
+fi
+
+# Wait for the run reports to land on disk (written after the batch).
+for _ in $(seq 1 150); do
+    [ -s "$workdir/obs.json" ] && break
+    sleep 0.2
+done
+[ -s "$workdir/obs.json" ] || { echo "obs.json never written" >&2; cat "$workdir/bench.err" >&2; exit 1; }
+
+# Scrape the runs endpoint while the server lingers, then shut it down.
+curl -sf "http://$addr/obs/runs" -o "$workdir/runs.json"
+curl -sf "http://$addr/debug/vars" -o /dev/null
+kill "$bench_pid" 2>/dev/null || true
+wait "$bench_pid" 2>/dev/null || true
+bench_pid=""
+
+echo "== single-run report + trace via bfetch-sim"
+"$workdir/bfetch-sim" -workloads mcf -pf stride -warmup 20000 -measure 20000 \
+    -obs "$workdir/run.json" -obstrace "$workdir/pf.trace" -obstrace-every 8 \
+    >/dev/null 2>&1
+[ -s "$workdir/pf.trace" ] || { echo "trace file empty" >&2; exit 1; }
+
+echo "== validate schemas"
+"$workdir/bfetch-sim" -validate-obs "$workdir/status.json"
+"$workdir/bfetch-sim" -validate-obs "$workdir/runs.json"
+"$workdir/bfetch-sim" -validate-obs "$workdir/obs.json"
+"$workdir/bfetch-sim" -validate-obs "$workdir/run.json"
+
+echo "obs-smoke: OK"
