@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint verify verify-full verify-race race bench bench-json obs-smoke clean
+.PHONY: all build test vet lint verify verify-full verify-race race bench bench-smoke bench-json obs-smoke clean
 
 # Packages exercising concurrency: the parallel experiment engine, the
 # copy-on-write memory forks, and shared-checkpoint restores.
@@ -42,12 +42,24 @@ race:
 verify-race: race
 
 # Hot-path microbenchmarks (BenchmarkCoreCycle must report 0 allocs/op;
-# MemReadWrite/MemFork/Checkpoint guard the fast-forward machinery).
+# MemReadWrite/MemFork/Checkpoint guard the fast-forward machinery;
+# EmuInterp/EmuCompiled guard the threaded-code speedup and RobScan/RobBitmap
+# the issue-stage selection kernel).
 bench:
 	$(GO) test -run xxx -bench 'CoreCycle|CacheAccess|BFetchTick|SimMemoryBound' \
 		-benchmem ./internal/cpu ./internal/cache ./internal/core ./internal/sim
 	$(GO) test -run xxx -bench 'MemReadWrite|MemFork|Checkpoint' \
 		-benchmem ./internal/mem ./internal/ckpt
+	$(GO) test -run xxx -bench 'EmuInterp|EmuCompiled|RobScan|RobBitmap' \
+		-benchmem ./internal/emu ./internal/cpu
+
+# CI leg: every kernel microbenchmark, executed 10 iterations each — not a
+# measurement, a regression tripwire that keeps the benchmarks compiling and
+# their setup/invariant checks (b.Fatal paths) running on every push. The
+# root package's figure benchmarks run whole experiments (tens of seconds
+# per op) and are excluded; they stay a manual `go test -bench Fig .` affair.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime=10x ./internal/...
 
 # Refresh the machine-readable simulation-throughput record. Four workers is
 # the recorded-baseline setting: parallel enough to exercise the caches,

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/emu"
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/runner"
@@ -56,6 +57,7 @@ func run() error {
 		jobs       = flag.Int("j", 0, "simulations in flight (0 = GOMAXPROCS)")
 		seq        = flag.Bool("seq", false, "run simulations sequentially on one goroutine (escape hatch)")
 		simloop    = flag.String("simloop", "auto", "clock strategy: auto, event, or naive (escape hatch)")
+		emuloop    = flag.String("emuloop", "auto", "functional-emulation engine: auto, compiled, or interp (escape hatch)")
 		benchJSON  = flag.String("benchjson", "", "write per-experiment simulation throughput to this JSON file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -90,6 +92,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	exec, err := emu.ParseExecMode(*emuloop)
+	if err != nil {
+		return err
+	}
+	emu.DefaultExec = exec
 
 	eng := runner.New(*jobs)
 	if *seq {
@@ -258,32 +265,34 @@ type benchReport struct {
 // counters; experiments that compute without executing anything (tab1/tab2)
 // are marked analytic, so no row is silently degenerate.
 type benchExp struct {
-	ID            string  `json:"id"`
-	WallSeconds   float64 `json:"wall_seconds"`
-	Sims          uint64  `json:"sims"`
-	CacheHits     uint64  `json:"cache_hits"`
-	CkptHits      uint64  `json:"ckpt_hits,omitempty"`
-	CkptMisses    uint64  `json:"ckpt_misses,omitempty"`
-	SimCycles     uint64  `json:"sim_cycles"`
-	SimInsts      uint64  `json:"sim_insts"`
-	EmuInsts      uint64  `json:"emu_insts,omitempty"`
-	KCyclesPerSec float64 `json:"sim_kcycles_per_sec"`
-	InstsPerSec   float64 `json:"committed_insts_per_sec"`
+	ID             string  `json:"id"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	Sims           uint64  `json:"sims"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CkptHits       uint64  `json:"ckpt_hits,omitempty"`
+	CkptMisses     uint64  `json:"ckpt_misses,omitempty"`
+	SimCycles      uint64  `json:"sim_cycles"`
+	SimInsts       uint64  `json:"sim_insts"`
+	EmuInsts       uint64  `json:"emu_insts,omitempty"`
+	KCyclesPerSec  float64 `json:"sim_kcycles_per_sec"`
+	InstsPerSec    float64 `json:"committed_insts_per_sec"`
+	EmuInstsPerSec float64 `json:"emu_insts_per_sec,omitempty"`
 	// Analytic marks experiments that derive their tables from configuration
 	// arithmetic alone (storage tables): no simulation, no emulation.
 	Analytic bool `json:"analytic,omitempty"`
 }
 
 type benchTotal struct {
-	WallSeconds   float64 `json:"wall_seconds"`
-	Sims          uint64  `json:"sims"`
-	CkptHits      uint64  `json:"ckpt_hits"`
-	CkptMisses    uint64  `json:"ckpt_misses"`
-	SimCycles     uint64  `json:"sim_cycles"`
-	SimInsts      uint64  `json:"sim_insts"`
-	EmuInsts      uint64  `json:"emu_insts"`
-	KCyclesPerSec float64 `json:"sim_kcycles_per_sec"`
-	InstsPerSec   float64 `json:"committed_insts_per_sec"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	Sims           uint64  `json:"sims"`
+	CkptHits       uint64  `json:"ckpt_hits"`
+	CkptMisses     uint64  `json:"ckpt_misses"`
+	SimCycles      uint64  `json:"sim_cycles"`
+	SimInsts       uint64  `json:"sim_insts"`
+	EmuInsts       uint64  `json:"emu_insts"`
+	KCyclesPerSec  float64 `json:"sim_kcycles_per_sec"`
+	InstsPerSec    float64 `json:"committed_insts_per_sec"`
+	EmuInstsPerSec float64 `json:"emu_insts_per_sec"`
 }
 
 func (b *benchReport) add(id string, wall time.Duration, prev, st runner.Stats) {
@@ -304,6 +313,7 @@ func (b *benchReport) add(id string, wall time.Duration, prev, st runner.Stats) 
 	if sec > 0 {
 		exp.KCyclesPerSec = float64(cycles) / 1e3 / sec
 		exp.InstsPerSec = float64(insts) / sec
+		exp.EmuInstsPerSec = float64(exp.EmuInsts) / sec
 	}
 	exp.Analytic = exp.Sims == 0 && exp.CacheHits == 0 && exp.EmuInsts == 0
 	b.Experiments = append(b.Experiments, exp)
@@ -324,6 +334,7 @@ func (b *benchReport) write(path string, st runner.Stats) error {
 	if wall > 0 {
 		total.KCyclesPerSec = float64(st.SimCycles) / 1e3 / wall
 		total.InstsPerSec = float64(st.SimInsts) / wall
+		total.EmuInstsPerSec = float64(st.EmuInsts) / wall
 	}
 	b.Total = &total
 	data, err := json.MarshalIndent(b, "", "  ")

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/emu"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -34,6 +35,7 @@ func main() {
 		measure = flag.Uint64("measure", 300_000, "measured instructions per core")
 		conf    = flag.Float64("conf", 0.75, "B-Fetch path confidence threshold")
 		simloop = flag.String("simloop", "auto", "clock strategy: auto, event, or naive (escape hatch)")
+		emuloop = flag.String("emuloop", "auto", "functional-emulation engine: auto, compiled, or interp (escape hatch)")
 		list    = flag.Bool("list", false, "list workloads and exit")
 
 		obsOut     = flag.String("obs", "", "write this run's observability report (bfetch-obs-run/v1 JSON) to this file, '-' for stdout")
@@ -76,6 +78,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bfetch-sim:", err)
 		os.Exit(1)
 	}
+	exec, err := emu.ParseExecMode(*emuloop)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfetch-sim:", err)
+		os.Exit(1)
+	}
+	emu.DefaultExec = exec
 
 	cfg := sim.Default(sim.PrefetcherKind(*pf))
 	cfg.CPU = cfg.CPU.WithWidth(*width)

@@ -15,6 +15,7 @@ package cpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/branch"
 	"repro/internal/cache"
@@ -118,9 +119,18 @@ type Core struct {
 	count    int
 	nextSeq  uint64 // monotonically increasing; never reused
 
-	ready     []ref // entries with state sReady
-	inflight  []ref // issued, waiting for doneAt
-	pendLoads []ref // loads blocked on disambiguation or ports
+	// Scheduling bitmaps: bit s of word s/64 tracks ROB slot s. readyBM
+	// marks sReady entries awaiting issue, inflightBM marks sIssued entries
+	// with a scheduled completion, pendBM marks issued loads parked on
+	// disambiguation or ports. Invariant: a set bit always names a live
+	// entry in the matching state — state transitions and recover() keep the
+	// maps exact — so the schedulers walk set bits with TrailingZeros64
+	// instead of filtering ref lists, and walking the ring from headSlot
+	// yields entries oldest-first without a sort (slot order inside
+	// [headSlot, headSlot+count) is sequence order).
+	readyBM    []uint64
+	inflightBM []uint64
+	pendBM     []uint64
 
 	// storeQ is a ring of uncommitted stores, oldest first (disambiguation).
 	// Capacity is the ROB size — a store occupies a ROB slot while queued —
@@ -128,6 +138,16 @@ type Core struct {
 	storeQ []ref
 	sqHead int
 	sqN    int
+
+	// Store-queue membership filter for disambiguation: sqUnknown counts
+	// queued stores whose address is not yet computed, sqBuck counts
+	// address-resolved queued stores per 8-byte-granularity bucket, and
+	// sqMask keeps bit b set while sqBuck[b] is nonzero. A load whose
+	// three-bucket neighborhood is empty while sqUnknown is zero provably
+	// has no older-store conflict, so disambiguate skips the queue scan.
+	sqUnknown int
+	sqBuck    [64]int32
+	sqMask    uint64
 
 	// fq is the fetch queue as a ring: capacity cfg.FetchQueue, allocated
 	// once. (A plain slice advanced with fq[1:] would re-allocate its
@@ -143,11 +163,10 @@ type Core struct {
 	halted bool
 	err    error
 
-	// Per-cycle scratch buffers, reused so the steady-state cycle path does
-	// not allocate: doneScratch collects completing refs in complete();
-	// pfReqs receives the prefetcher's requests in prefetchTick().
-	doneScratch []ref
-	pfReqs      []prefetch.Request
+	// Per-cycle scratch buffer, reused so the steady-state cycle path does
+	// not allocate: pfReqs receives the prefetcher's requests in
+	// prefetchTick().
+	pfReqs []prefetch.Request
 
 	Stats Stats
 }
@@ -155,17 +174,21 @@ type Core struct {
 // New builds a core at the program entry point.
 func New(cfg Config, prog *isa.Program, m *mem.Memory, hier *cache.Hierarchy,
 	bp *branch.Predictor, conf *branch.Confidence, pf prefetch.Prefetcher) *Core {
+	words := (cfg.ROBEntries + 63) / 64
 	c := &Core{
-		cfg:    cfg,
-		prog:   prog,
-		mem:    m,
-		hier:   hier,
-		bp:     bp,
-		conf:   conf,
-		pf:     pf,
-		rob:    make([]robEntry, cfg.ROBEntries),
-		storeQ: make([]ref, max(1, cfg.ROBEntries)),
-		fq:     make([]fqEntry, max(1, cfg.FetchQueue)),
+		cfg:        cfg,
+		prog:       prog,
+		mem:        m,
+		hier:       hier,
+		bp:         bp,
+		conf:       conf,
+		pf:         pf,
+		rob:        make([]robEntry, cfg.ROBEntries),
+		readyBM:    make([]uint64, words),
+		inflightBM: make([]uint64, words),
+		pendBM:     make([]uint64, words),
+		storeQ:     make([]ref, max(1, cfg.ROBEntries)),
+		fq:         make([]fqEntry, max(1, cfg.FetchQueue)),
 	}
 	c.pfEx, _ = pf.(ExecObserver)
 	c.nextSeq = 1
@@ -266,6 +289,72 @@ func (c *Core) tailSlot() int {
 	return j
 }
 
+// ------------------------------------------------------ scheduling bitmaps --
+
+//bfetch:hotpath
+func bmSet(bm []uint64, s int) { bm[s>>6] |= 1 << (uint(s) & 63) }
+
+//bfetch:hotpath
+func bmClear(bm []uint64, s int) { bm[s>>6] &^= 1 << (uint(s) & 63) }
+
+//bfetch:hotpath
+func bmAny(bm []uint64) bool {
+	for _, w := range bm {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// bmIter walks a scheduling bitmap's set bits in sequence (age) order: ring
+// order starting at headSlot. It snapshots one word at a time, so bits the
+// caller (or a squash it triggers) clears in words not yet visited are
+// skipped, while clears inside the current snapshot must be re-checked
+// against the entry's state by the caller — complete() is the one site where
+// that happens.
+type bmIter struct {
+	bm   []uint64
+	w    uint64 // remaining bits of the current word
+	wi   int    // current word index
+	hw   int    // head word index
+	hb   uint   // head bit within hw
+	wrap bool   // scanning the wrapped segment [0, headSlot)
+}
+
+//bfetch:hotpath
+func (it *bmIter) init(bm []uint64, head int) {
+	it.bm = bm
+	it.hw, it.hb = head>>6, uint(head)&63
+	it.wi = it.hw
+	it.w = bm[it.hw] &^ (1<<it.hb - 1)
+	it.wrap = false
+}
+
+//bfetch:hotpath
+func (it *bmIter) next() (int, bool) {
+	for it.w == 0 {
+		it.wi++
+		if it.wrap {
+			if it.wi > it.hw {
+				return 0, false
+			}
+			it.w = it.bm[it.wi]
+			if it.wi == it.hw {
+				it.w &= 1<<it.hb - 1
+			}
+		} else if it.wi == len(it.bm) {
+			it.wrap = true
+			it.wi = -1 // restart just before word 0
+		} else {
+			it.w = it.bm[it.wi]
+		}
+	}
+	s := it.wi<<6 + bits.TrailingZeros64(it.w)
+	it.w &= it.w - 1
+	return s, true
+}
+
 // ---------------------------------------------------------------- commit --
 
 //bfetch:hotpath
@@ -336,6 +425,7 @@ func (c *Core) commit(now uint64) {
 				c.sqHead = 0
 			}
 			c.sqN--
+			c.sqBuckDrop(e.ea) // a committed store always resolved its address
 		}
 		e.seq = 0
 		if c.headSlot++; c.headSlot == len(c.rob) {
@@ -354,30 +444,24 @@ func (c *Core) commit(now uint64) {
 
 //bfetch:hotpath
 func (c *Core) complete(now uint64) {
-	// Collect finishing entries, oldest first, so a squash from an older
-	// branch naturally invalidates younger resolutions. The collection
-	// buffer is persistent scratch — the per-cycle path must not allocate.
-	done := c.doneScratch[:0]
-	for _, r := range c.inflight {
-		if e := c.entry(r); e != nil && e.state == sIssued && e.doneAt <= now {
-			done = append(done, r)
+	// Resolve completions oldest first, so a squash from an older branch
+	// naturally invalidates younger resolutions: the age-order bitmap walk
+	// replaces the old collect-sort-filter scratch list outright. A squash
+	// clears the victims' in-flight bits, which the walk observes for words
+	// not yet visited; bits already snapshotted are caught by the state
+	// re-check (finish never schedules new completions, so nothing can
+	// become done mid-walk).
+	var it bmIter
+	it.init(c.inflightBM, c.headSlot)
+	for s, ok := it.next(); ok; s, ok = it.next() {
+		e := &c.rob[s]
+		if e.seq == 0 || e.state != sIssued || e.doneAt > now {
+			continue
 		}
-	}
-	c.doneScratch = done
-	for i := 1; i < len(done); i++ {
-		for j := i; j > 0 && done[j].seq < done[j-1].seq; j-- {
-			done[j], done[j-1] = done[j-1], done[j]
-		}
-	}
-	for _, r := range done {
-		e := c.entry(r)
-		if e == nil || e.state != sIssued {
-			continue // squashed by an older resolution this cycle
-		}
+		bmClear(c.inflightBM, s)
 		e.state = sDone
 		c.finish(e, now)
 	}
-	c.inflight = c.filterState(c.inflight, sIssued)
 }
 
 // finish applies completion effects: value broadcast and branch resolution.
@@ -407,7 +491,7 @@ func (c *Core) broadcast(e *robEntry) {
 		d.nsrc--
 		if d.nsrc == 0 {
 			d.state = sReady
-			c.ready = append(c.ready, cr.ref)
+			bmSet(c.readyBM, cr.slot)
 		}
 	}
 	e.cons = e.cons[:0]
@@ -434,8 +518,20 @@ func (c *Core) recover(e *robEntry, now uint64) {
 			// real hardware.
 			c.Stats.WrongPathLoads++
 		}
+		if t.inst.IsStore() {
+			// The store is still queued (stores leave only at commit);
+			// give back its disambiguation-filter claim.
+			if t.eaValid {
+				c.sqBuckDrop(t.ea)
+			} else {
+				c.sqUnknown--
+			}
+		}
 		t.seq = 0
 		t.cons = t.cons[:0]
+		bmClear(c.readyBM, ts)
+		bmClear(c.inflightBM, ts)
+		bmClear(c.pendBM, ts)
 		c.count--
 	}
 	// The fetch queue holds only instructions younger than any ROB entry.
@@ -458,9 +554,6 @@ func (c *Core) recover(e *robEntry, now uint64) {
 		c.rat[r] = s
 	}
 
-	c.ready = c.filterState(c.ready, sReady)
-	c.pendLoads = c.filterState(c.pendLoads, sIssued)
-
 	// Redirect fetch.
 	if e.actualNext >= 0 && e.actualNext < c.prog.Len() {
 		c.fetchPC = e.actualNext
@@ -473,19 +566,6 @@ func (c *Core) recover(e *robEntry, now uint64) {
 	} else {
 		c.specGHR = e.ghr
 	}
-}
-
-// filterState keeps refs whose entries are live and in the wanted state.
-//
-//bfetch:hotpath
-func (c *Core) filterState(refs []ref, want entryState) []ref {
-	out := refs[:0]
-	for _, r := range refs {
-		if e := c.entry(r); e != nil && e.state == want {
-			out = append(out, r)
-		}
-	}
-	return out
 }
 
 // ----------------------------------------------------------------- issue --
@@ -503,45 +583,32 @@ func opLatency(op isa.Op, mulLat uint64) uint64 {
 func (c *Core) issue(now uint64) {
 	ports := c.cfg.CachePorts
 
-	// Blocked loads retry first (they already consumed an issue slot).
-	pend := c.pendLoads[:0]
-	for _, r := range c.pendLoads {
-		e := c.entry(r)
-		if e == nil || e.state != sIssued {
-			continue
-		}
-		if ports > 0 && c.tryLoad(e, now) {
-			ports--
-		} else {
-			pend = append(pend, r)
+	// Blocked loads retry first (they already consumed an issue slot),
+	// oldest first — the age-order walk doubles as the port arbiter.
+	var it bmIter
+	if bmAny(c.pendBM) {
+		it.init(c.pendBM, c.headSlot)
+		for s, ok := it.next(); ok && ports > 0; s, ok = it.next() {
+			if c.tryLoad(&c.rob[s], now) {
+				ports--
+				bmClear(c.pendBM, s)
+			}
 		}
 	}
-	c.pendLoads = pend
 
-	if len(c.ready) == 0 {
+	if !bmAny(c.readyBM) {
 		return
 	}
-	// Oldest-first selection.
-	for i := 1; i < len(c.ready); i++ {
-		for j := i; j > 0 && c.ready[j].seq < c.ready[j-1].seq; j-- {
-			c.ready[j], c.ready[j-1] = c.ready[j-1], c.ready[j]
-		}
-	}
+	// Oldest-first selection: the ring walk from headSlot visits ready
+	// entries in sequence order directly, replacing the per-cycle
+	// insertion sort over a ref list.
 	issued := 0
-	rest := c.ready[:0]
-	for _, r := range c.ready {
-		e := c.entry(r)
-		if e == nil || e.state != sReady {
-			continue
-		}
-		if issued >= c.cfg.Width {
-			rest = append(rest, r)
-			continue
-		}
+	it.init(c.readyBM, c.headSlot)
+	for s, ok := it.next(); ok && issued < c.cfg.Width; s, ok = it.next() {
 		issued++
-		c.execute(e, now, &ports)
+		bmClear(c.readyBM, s)
+		c.execute(&c.rob[s], now, &ports)
 	}
-	c.ready = rest
 }
 
 // execute starts one entry. Loads may divert to the pending list.
@@ -550,13 +617,12 @@ func (c *Core) issue(now uint64) {
 func (c *Core) execute(e *robEntry, now uint64, ports *int) {
 	in := e.inst
 	e.state = sIssued
-	r := ref{slot: e.slot, seq: e.seq}
 	switch {
 	case in.IsLoad():
 		e.ea = uint64(e.srcVal[0] + in.Imm)
 		e.eaValid = true
 		if !(*ports > 0 && c.tryLoad(e, now)) {
-			c.pendLoads = append(c.pendLoads, r)
+			bmSet(c.pendBM, e.slot)
 			return
 		}
 		*ports--
@@ -566,6 +632,10 @@ func (c *Core) execute(e *robEntry, now uint64, ports *int) {
 		e.eaValid = true
 		e.stData = e.srcVal[1]
 		e.doneAt = now + 1
+		// The queued store's address is now known: move its filter claim
+		// from the unknown counter to its address bucket.
+		c.sqUnknown--
+		c.sqBuckAdd(e.ea)
 	case in.IsControl():
 		e.actualTaken = emu.BranchTaken(in.Op, e.srcVal[0])
 		switch {
@@ -591,7 +661,7 @@ func (c *Core) execute(e *robEntry, now uint64, ports *int) {
 		e.destVal = v
 		e.doneAt = now + opLatency(in.Op, c.cfg.MulLatency) - 1
 	}
-	c.inflight = append(c.inflight, r)
+	bmSet(c.inflightBM, e.slot)
 }
 
 // tryLoad attempts to send a load to memory; returns false if blocked by
@@ -618,8 +688,31 @@ func (c *Core) tryLoad(e *robEntry, now uint64) bool {
 		}
 		c.pf.OnAccess(prefetch.AccessInfo{PC: e.pc, Addr: e.ea, Hit: hit})
 	}
-	c.inflight = append(c.inflight, ref{slot: e.slot, seq: e.seq})
+	bmSet(c.inflightBM, e.slot)
 	return true
+}
+
+// sqBucket hashes an access address to a disambiguation filter bucket.
+// Accesses are 8 bytes wide, so two that overlap (|a-b| ≤ 7) land in the
+// same or an adjacent bucket — an empty three-bucket neighborhood proves a
+// load conflicts with no resolved store in the queue.
+//
+//bfetch:hotpath
+func sqBucket(ea uint64) int { return int(ea>>3) & 63 }
+
+//bfetch:hotpath
+func (c *Core) sqBuckAdd(ea uint64) {
+	b := sqBucket(ea)
+	c.sqBuck[b]++
+	c.sqMask |= 1 << uint(b)
+}
+
+//bfetch:hotpath
+func (c *Core) sqBuckDrop(ea uint64) {
+	b := sqBucket(ea)
+	if c.sqBuck[b]--; c.sqBuck[b] == 0 {
+		c.sqMask &^= 1 << uint(b)
+	}
 }
 
 // disambiguate scans the in-flight stores older than the load, youngest
@@ -627,8 +720,16 @@ func (c *Core) tryLoad(e *robEntry, now uint64) bool {
 // address has its data, or blocked if any intervening store address is
 // unknown or overlaps inexactly.
 //
+// The scan is guarded by the bucket filter: when every queued store has a
+// resolved address and none lands in the load's three-bucket neighborhood,
+// the queue provably holds no conflict and the answer is a constant-time
+// miss. Bucket aliasing only causes a harmless fall-through to the scan.
+//
 //bfetch:hotpath
 func (c *Core) disambiguate(e *robEntry) (fwd bool, val int64, blocked bool) {
+	if c.sqUnknown == 0 && c.sqMask&bits.RotateLeft64(7, sqBucket(e.ea)-1) == 0 {
+		return false, 0, false
+	}
 	for i := c.sqN - 1; i >= 0; i-- {
 		s := c.entry(c.sqAt(i))
 		if s == nil || s.seq >= e.seq {
@@ -718,6 +819,7 @@ func (c *Core) dispatch(now uint64) {
 			}
 			c.storeQ[st] = ref{slot: slot, seq: seq}
 			c.sqN++
+			c.sqUnknown++ // address unknown until the store executes
 		}
 
 		// Control instructions snapshot the RAT for recovery and feed the
@@ -752,7 +854,7 @@ func (c *Core) dispatch(now uint64) {
 				e.actualNext = in.Target
 			default:
 				e.state = sReady
-				c.ready = append(c.ready, ref{slot: slot, seq: seq})
+				bmSet(c.readyBM, slot)
 			}
 		}
 	}
@@ -868,7 +970,7 @@ func (c *Core) NextEvent(now uint64) uint64 {
 	}
 	// Issue has work queued, blocked loads retry every cycle, and a non-idle
 	// prefetch engine ticks every cycle: no skipping.
-	if len(c.ready) > 0 || len(c.pendLoads) > 0 || !c.pf.Idle() {
+	if bmAny(c.readyBM) || bmAny(c.pendBM) || !c.pf.Idle() {
 		return now + 1
 	}
 	next := uint64(NoEvent)
@@ -878,9 +980,12 @@ func (c *Core) NextEvent(now uint64) uint64 {
 			next = min(next, max(now+1, e.doneAt))
 		}
 	}
-	// Complete: the earliest in-flight completion.
-	for _, r := range c.inflight {
-		if e := c.entry(r); e != nil && e.state == sIssued {
+	// Complete: the earliest in-flight completion. Age order is irrelevant
+	// for a minimum, so this is a plain word scan; the bitmap invariant
+	// guarantees every set bit is a live sIssued entry.
+	for wi, w := range c.inflightBM {
+		for ; w != 0; w &= w - 1 {
+			e := &c.rob[wi<<6+bits.TrailingZeros64(w)]
 			next = min(next, max(now+1, e.doneAt))
 		}
 	}

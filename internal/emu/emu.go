@@ -36,8 +36,13 @@ type CPU struct {
 	Halted  bool
 	Retired uint64
 
-	// OnRetire, when non-nil, observes every executed instruction.
+	// OnRetire, when non-nil, observes every executed instruction. A hooked
+	// CPU always runs on the interpreter (DESIGN.md §5d).
 	OnRetire func(r Retire)
+
+	// Exec selects the execution engine for Run. The zero value ExecAuto
+	// resolves to DefaultExec (compiled, unless -emuloop overrides it).
+	Exec ExecMode
 }
 
 // New returns a CPU at the program entry with zeroed registers.
@@ -183,7 +188,15 @@ func (c *CPU) Step() error {
 // Run executes up to maxInsts instructions, stopping early at HALT. It
 // returns the number of instructions executed and the first error other than
 // a clean halt.
+//
+// Run dispatches to the threaded-code engine (Compile) unless the CPU is
+// instrumented with OnRetire or pinned to the interpreter via Exec /
+// DefaultExec; both engines maintain the same architectural state machine,
+// so runs may even alternate engines mid-program.
 func (c *CPU) Run(maxInsts uint64) (uint64, error) {
+	if c.useCompiled() {
+		return Compile(c.Prog).run(c, maxInsts)
+	}
 	var n uint64
 	for n < maxInsts && !c.Halted {
 		if err := c.Step(); err != nil {

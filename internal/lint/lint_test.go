@@ -223,6 +223,81 @@ func TestObsHotpathMutation(t *testing.T) {
 	}
 }
 
+// emuLikeSrc mirrors the two cycle-kernel shapes this module's hot paths
+// lean on: the threaded-code emulator's superblock dispatch loop (pre-decoded
+// op records executed inline in a switch) and the out-of-order core's
+// TrailingZeros64-style bitmap scheduler walk. The clean pass witnesses both
+// idioms are inside the lint contract; the mutation plants the easiest
+// regression — an op body wrapped in a per-step closure — and requires the
+// analyzer to catch it.
+const emuLikeSrc = `package emu
+
+type cop struct {
+	kind   uint8
+	rd, rs uint8
+	imm    int64
+}
+
+type kernel struct {
+	ops  []cop
+	term []int32
+}
+
+//bfetch:hotpath
+func (k *kernel) run(regs *[32]int64, pc int) int {
+	ops := k.ops
+	t := int(k.term[pc])
+	for i := pc; i < t; i++ {
+		o := &ops[i]
+		switch o.kind {
+		case 0:
+			regs[o.rd&31] = regs[o.rs&31] + o.imm
+		default:
+			regs[o.rd&31] = o.imm
+		}
+	}
+	return t
+}
+
+//bfetch:hotpath
+func pick(bm []uint64, width int) int {
+	n := 0
+	for _, w := range bm {
+		for ; w != 0; w &= w - 1 {
+			if n++; n == width {
+				return n
+			}
+		}
+	}
+	return n
+}
+`
+
+func TestCompiledDispatchHotpathMutation(t *testing.T) {
+	p, err := ParseSource("emu.go", emuLikeSrc)
+	if err != nil {
+		t.Fatalf("parsing clean source: %v", err)
+	}
+	if diags := Hotpath(p, buildModuleIndex([]*Package{p})); len(diags) != 0 {
+		t.Fatalf("clean emu-like source produced findings: %v", diags)
+	}
+
+	mutated := strings.Replace(emuLikeSrc,
+		"regs[o.rd&31] = regs[o.rs&31] + o.imm\n",
+		"func() { regs[o.rd&31] = regs[o.rs&31] + o.imm }()\n", 1)
+	if mutated == emuLikeSrc {
+		t.Fatal("mutation did not apply; fixture drifted")
+	}
+	p, err = ParseSource("emu.go", mutated)
+	if err != nil {
+		t.Fatalf("parsing mutated source: %v", err)
+	}
+	diags := Hotpath(p, buildModuleIndex([]*Package{p}))
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "closure") {
+		t.Fatalf("mutated source: got %v, want exactly one closure finding", diags)
+	}
+}
+
 // TestNoresetMutationAlsoGuardsMarkers checks the symmetric direction:
 // removing a //bfetch:noreset annotation (without adding the reset) must
 // surface the field.

@@ -50,3 +50,24 @@ func badControl(w *widget) {
 	q := &widget{} // want "escapes to the heap"
 	_ = q
 }
+
+// op mimics the threaded-code emulator's pre-decoded record.
+type op struct {
+	kind   uint8
+	rd, rs uint8
+	imm    int64
+}
+
+// badCompiledDispatch is the per-step closure regression the compiled
+// emulator must never grow: wrapping an op's semantics in a func literal
+// inside the dispatch loop turns every emulated instruction into a heap
+// allocation. The shipping engine executes ops inline in a switch.
+//
+//bfetch:hotpath
+func badCompiledDispatch(ops []op, regs *[32]int64) {
+	for i := range ops {
+		o := &ops[i]
+		step := func() { regs[o.rd&31] = regs[o.rs&31] + o.imm } // want "closure allocates"
+		step()
+	}
+}

@@ -8,12 +8,15 @@
 // simulations booted from one fast-forward image share its footprint.
 package mem
 
-import "encoding/binary"
-
 // PageBytes is the allocation granularity.
 const PageBytes = 4096
 
-type page [PageBytes]byte
+// A page stores its bytes as 64-bit little-endian words: byte addr%8 of a
+// word is bits [8k, 8k+8) of page[addr%PageBytes/8]. Keeping the hot
+// currency (aligned 64-bit words, the only width the ISA loads and stores)
+// as the storage format makes Read64/Write64 a single indexed access —
+// small enough for the compiler to inline into the emulator loops.
+type page [PageBytes / 8]uint64
 
 // Memory is one simulated address space: a private writable page table over
 // an optional frozen read-only base shared with other forks. The zero value
@@ -25,16 +28,33 @@ type Memory struct {
 	pages map[uint64]*page // private, writable
 	ro    map[uint64]*page // frozen shared base (nil if never forked)
 
-	// One-entry translation cache for pageFor: Read64/Write64 sit on the
-	// simulator's hottest path, and consecutive accesses overwhelmingly hit
-	// the same page, so remembering the last translation skips the map
-	// lookup. lastRW records whether the cached page is privately owned
-	// (writable); a read-only hit must still fall through on writes so the
-	// copy-on-write path runs.
-	lastPN   uint64
-	lastPage *page
-	lastRW   bool
+	// Direct-mapped software TLB for pageFor: Read64/Write64 sit on the
+	// simulator's hottest path, and map lookups (hash, probe) dominate them
+	// once a working set spans more than a page or two. Each entry caches
+	// one translation; rw records whether the cached page is privately
+	// owned (writable), so a read-only hit still falls through on writes
+	// and the copy-on-write path runs. Entries go stale only at Freeze
+	// (private pages become shared), which flushes the whole table.
+	tlb [tlbSize]tlbEntry
 }
+
+// tlbSize is the number of direct-mapped translation entries; 2048 gives an
+// 8 MB reach, covering the workload suite's largest hot region (lbm's two
+// 4 MB grids) at a 48 KB cost per address space.
+const tlbSize = 2048
+
+type tlbEntry struct {
+	pn uint64
+	p  *page
+	rw bool
+}
+
+// tlbIdx folds high page-number bits into the index. Workload images place
+// distinct regions at addresses like 0x1000_0000 and 0x2000_0000, which are
+// congruent modulo any power-of-two table size; a plain pn&mask index would
+// make corresponding pages of two streamed regions evict each other every
+// access.
+func tlbIdx(pn uint64) uint64 { return (pn ^ (pn >> 11)) & (tlbSize - 1) }
 
 // New returns an empty address space.
 func New() *Memory {
@@ -43,22 +63,23 @@ func New() *Memory {
 
 func (m *Memory) pageFor(addr uint64, alloc bool) *page {
 	pn := addr / PageBytes
-	if m.lastPage != nil && m.lastPN == pn && (m.lastRW || !alloc) {
-		return m.lastPage
+	e := &m.tlb[tlbIdx(pn)]
+	if e.p != nil && e.pn == pn && (e.rw || !alloc) {
+		return e.p
 	}
 	if p := m.pages[pn]; p != nil {
-		m.lastPN, m.lastPage, m.lastRW = pn, p, true
+		e.pn, e.p, e.rw = pn, p, true
 		return p
 	}
 	if m.ro != nil {
 		if q := m.ro[pn]; q != nil {
 			if !alloc {
-				m.lastPN, m.lastPage, m.lastRW = pn, q, false
+				e.pn, e.p, e.rw = pn, q, false
 				return q
 			}
 			cp := *q // first write to a shared page: copy it private
 			m.pages[pn] = &cp
-			m.lastPN, m.lastPage, m.lastRW = pn, &cp, true
+			e.pn, e.p, e.rw = pn, &cp, true
 			return &cp
 		}
 	}
@@ -67,34 +88,47 @@ func (m *Memory) pageFor(addr uint64, alloc bool) *page {
 	}
 	p := new(page)
 	m.pages[pn] = p
-	m.lastPN, m.lastPage, m.lastRW = pn, p, true
+	e.pn, e.p, e.rw = pn, p, true
 	return p
 }
 
 // Read8 returns the byte at addr; untouched memory reads as zero.
 func (m *Memory) Read8(addr uint64) byte {
 	if p := m.pageFor(addr, false); p != nil {
-		return p[addr%PageBytes]
+		off := addr % PageBytes
+		return byte(p[off/8] >> (8 * (off % 8)))
 	}
 	return 0
 }
 
 // Write8 stores one byte at addr.
 func (m *Memory) Write8(addr uint64, v byte) {
-	m.pageFor(addr, true)[addr%PageBytes] = v
+	p := m.pageFor(addr, true)
+	off := addr % PageBytes
+	sh := 8 * (off % 8)
+	p[off/8] = p[off/8]&^(0xff<<sh) | uint64(v)<<sh
 }
 
-// Read64 returns the little-endian 64-bit word at addr. The common case
-// (access within one page) is fast-pathed; page-straddling accesses fall
-// back to byte loops.
+// Read64 returns the little-endian 64-bit word at addr. The TLB-hit aligned
+// case — the only access the ISA's LD issues on every real workload — is a
+// single indexed load, small enough to inline into the emulator loops; TLB
+// misses, copy-on-write faults and misaligned accesses take the slow path.
 func (m *Memory) Read64(addr uint64) uint64 {
-	off := addr % PageBytes
-	if off <= PageBytes-8 {
+	pn := addr / PageBytes
+	e := &m.tlb[tlbIdx(pn)]
+	if e.p != nil && e.pn == pn && addr&7 == 0 {
+		return e.p[addr%PageBytes/8]
+	}
+	return m.read64Slow(addr)
+}
+
+func (m *Memory) read64Slow(addr uint64) uint64 {
+	if addr&7 == 0 {
 		p := m.pageFor(addr, false)
 		if p == nil {
 			return 0
 		}
-		return binary.LittleEndian.Uint64(p[off:])
+		return p[addr%PageBytes/8]
 	}
 	var v uint64
 	for i := uint64(0); i < 8; i++ {
@@ -103,11 +137,51 @@ func (m *Memory) Read64(addr uint64) uint64 {
 	return v
 }
 
-// Write64 stores a little-endian 64-bit word at addr.
+// Write64 stores a little-endian 64-bit word at addr. Like Read64, the hit
+// path inlines; a hit requires write ownership (e.rw), so copy-on-write
+// faults always reach pageFor.
 func (m *Memory) Write64(addr uint64, v uint64) {
-	off := addr % PageBytes
-	if off <= PageBytes-8 {
-		binary.LittleEndian.PutUint64(m.pageFor(addr, true)[off:], v)
+	pn := addr / PageBytes
+	e := &m.tlb[tlbIdx(pn)]
+	if e.p != nil && e.pn == pn && e.rw && addr&7 == 0 {
+		e.p[addr%PageBytes/8] = v
+		return
+	}
+	m.write64Slow(addr, v)
+}
+
+// Load64 is the inline-probe load for emulation hot loops: it returns the
+// word at addr only when the translation is TLB-cached and the access is
+// aligned, and reports whether it hit. It is small enough to inline at the
+// call site; on a miss the caller falls back to Read64, which fills the TLB
+// so the next probe of the page hits. (A wrapper that did the fallback
+// itself could not inline: the Go inliner prices any call to a
+// non-inlinable function above the whole inlining budget.)
+func (m *Memory) Load64(addr uint64) (uint64, bool) {
+	pn := addr / PageBytes
+	e := &m.tlb[tlbIdx(pn)]
+	if e.p != nil && e.pn == pn && addr&7 == 0 {
+		return e.p[addr%PageBytes/8], true
+	}
+	return 0, false
+}
+
+// Store64 is the inline-probe store counterpart of Load64. A hit requires
+// write ownership of the page, so copy-on-write faults always miss and
+// reach the Write64 fallback.
+func (m *Memory) Store64(addr uint64, v uint64) bool {
+	pn := addr / PageBytes
+	e := &m.tlb[tlbIdx(pn)]
+	if e.p != nil && e.pn == pn && e.rw && addr&7 == 0 {
+		e.p[addr%PageBytes/8] = v
+		return true
+	}
+	return false
+}
+
+func (m *Memory) write64Slow(addr uint64, v uint64) {
+	if addr&7 == 0 {
+		m.pageFor(addr, true)[addr%PageBytes/8] = v
 		return
 	}
 	for i := uint64(0); i < 8; i++ {
@@ -163,9 +237,9 @@ func (m *Memory) Freeze() {
 	}
 	m.ro = base
 	m.pages = make(map[uint64]*page)
-	// The cache may hold a page that just became shared; drop any claim of
+	// The TLB may hold pages that just became shared; drop every claim of
 	// write ownership.
-	m.lastPage = nil
+	m.tlb = [tlbSize]tlbEntry{}
 }
 
 // Fork returns a copy-on-write child of this address space: the child (and,

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -31,11 +32,36 @@ type Workload struct {
 	MemoryIntensive bool
 
 	build func() (*isa.Program, *mem.Memory)
+
+	// cache holds the one real build; Workload is copied by value through
+	// the registry and All(), and the shared pointer lets every copy reuse
+	// it. Initialized by register and New.
+	cache *buildCache
 }
 
-// Build materializes the program and its initial memory image. The image is
-// freshly built on each call, so callers may mutate it freely.
-func (w Workload) Build() (*isa.Program, *mem.Memory) { return w.build() }
+type buildCache struct {
+	once sync.Once
+	prog *isa.Program
+	img  *mem.Memory // frozen; handed out as copy-on-write forks
+}
+
+// Build materializes the program and its initial memory image. The builder
+// runs once per workload: the image is frozen and each call returns a
+// copy-on-write fork of it, so callers may still mutate their image freely
+// (and cheaply — a fork shares the frozen pages until written). Returning
+// the same *isa.Program every time also lets per-program caches downstream
+// (emu.Compile's threaded code) hit across checkpoints and experiment runs.
+func (w Workload) Build() (*isa.Program, *mem.Memory) {
+	c := w.cache
+	if c == nil { // zero-value Workload constructed without New
+		return w.build()
+	}
+	c.once.Do(func() {
+		c.prog, c.img = w.build()
+		c.img.Freeze()
+	})
+	return c.prog, c.img.Fork()
+}
 
 // New wraps a user-supplied program builder as a Workload, so downstream
 // code can simulate its own kernels alongside the built-in suite. The
@@ -51,6 +77,7 @@ func New(name, description, character string, memoryIntensive bool,
 		Character:       character,
 		MemoryIntensive: memoryIntensive,
 		build:           build,
+		cache:           &buildCache{},
 	}
 }
 
@@ -59,6 +86,9 @@ var registry []Workload
 func register(w Workload) {
 	if w.build == nil {
 		panic("workload: nil build for " + w.Name)
+	}
+	if w.cache == nil {
+		w.cache = &buildCache{}
 	}
 	registry = append(registry, w)
 }
