@@ -2,12 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint verify verify-full verify-race race bench bench-smoke bench-json obs-smoke clean
+.PHONY: all build test vet lint verify verify-full verify-race race bench bench-smoke bench-scale bench-json obs-smoke clean
 
 # Packages exercising concurrency: the parallel experiment engine, the
 # copy-on-write memory forks, and shared-checkpoint restores.
 RACE_PKGS = ./internal/runner ./internal/harness ./internal/workload \
 	./internal/mem ./internal/ckpt
+
+# BSP core-parallel stepping under the race detector: worker counts > 1 on a
+# multi-core mix, plus the bound-error path. The full sim suite is too slow
+# under -race; these tests are the ones that actually run the worker pool.
+RACE_SIM = -run 'TestParallelWorkerCount|TestParallelEquivalenceOnError' ./internal/sim
 
 all: build
 
@@ -35,9 +40,11 @@ verify-full: build vet
 	$(GO) run ./cmd/bfetch-lint
 	$(GO) test ./...
 	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race $(RACE_SIM)
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race $(RACE_SIM)
 
 verify-race: race
 
@@ -60,6 +67,14 @@ bench:
 # per op) and are excluded; they stay a manual `go test -bench Fig .` affair.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime=10x ./internal/...
+
+# Scale-out smoke: the mix-8/16 slice of the scale experiment at a reduced
+# protocol — exercises wide-mix generation, the banked LLC / channeled DRAM
+# models and their per-bank metrics end to end without the cost of the full
+# 2..64-core sweep.
+bench-scale:
+	$(GO) run ./cmd/bfetch-bench -exp scale -scalecores 8,16 \
+		-ff 20000 -warmup 5000 -measure 20000 -q
 
 # Refresh the machine-readable simulation-throughput record. Four workers is
 # the recorded-baseline setting: parallel enough to exercise the caches,

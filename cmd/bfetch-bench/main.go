@@ -58,6 +58,8 @@ func run() error {
 		seq        = flag.Bool("seq", false, "run simulations sequentially on one goroutine (escape hatch)")
 		simloop    = flag.String("simloop", "auto", "clock strategy: auto, event, or naive (escape hatch)")
 		emuloop    = flag.String("emuloop", "auto", "functional-emulation engine: auto, compiled, or interp (escape hatch)")
+		simpar     = flag.Int("simpar", 0, "core workers per simulation (bulk-synchronous parallel stepping; 0/1 = serial, results byte-identical)")
+		scaleCores = flag.String("scalecores", "", "comma-separated core counts for the scale experiment (default 2,4,8,16,64)")
 		benchJSON  = flag.String("benchjson", "", "write per-experiment simulation throughput to this JSON file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -140,11 +142,20 @@ func run() error {
 	}
 
 	params := harness.DefaultParams()
-	params.Opts = sim.RunOpts{FastForwardInsts: *ff, WarmupInsts: *warmup, MeasureInsts: *measure, Loop: loop}
+	params.Opts = sim.RunOpts{FastForwardInsts: *ff, WarmupInsts: *warmup, MeasureInsts: *measure, Loop: loop, CoreWorkers: *simpar}
 	params.Mixes = *mixes
 	params.Runner = eng
 	if *workloads != "" {
 		params.Workloads = strings.Split(*workloads, ",")
+	}
+	if *scaleCores != "" {
+		for _, s := range strings.Split(*scaleCores, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n < 1 {
+				return fmt.Errorf("bad -scalecores entry %q", s)
+			}
+			params.ScaleCores = append(params.ScaleCores, n)
+		}
 	}
 	if !*quiet {
 		params.Log = os.Stderr
@@ -166,6 +177,8 @@ func run() error {
 	var prev runner.Stats
 	var bench benchReport
 	bench.Loop = loop.String()
+	bench.EmuLoop = exec.String()
+	bench.CoreWorkers = *simpar
 	bench.Workers = eng.Workers()
 	for _, e := range todo {
 		start := time.Now()
@@ -250,8 +263,15 @@ func run() error {
 // benchReport is the machine-readable throughput record written by
 // -benchjson, tracking the simulator's performance trajectory across PRs.
 type benchReport struct {
-	Generated   string      `json:"generated"`
-	Loop        string      `json:"loop"`
+	Generated string `json:"generated"`
+	Loop      string `json:"loop"`
+	// EmuLoop and CoreWorkers record which functional-emulation engine and
+	// parallel-stepping setting produced the run: instrumented paths differ
+	// in throughput (fig3 drives the interpreter-observed path, fig7 the
+	// compiled one), so without this provenance a settings change reads as
+	// a performance regression.
+	EmuLoop     string      `json:"emu_loop"`
+	CoreWorkers int         `json:"core_workers"`
 	Workers     int         `json:"workers"`
 	Experiments []benchExp  `json:"experiments"`
 	Total       *benchTotal `json:"total,omitempty"`
@@ -265,7 +285,13 @@ type benchReport struct {
 // counters; experiments that compute without executing anything (tab1/tab2)
 // are marked analytic, so no row is silently degenerate.
 type benchExp struct {
-	ID             string  `json:"id"`
+	ID string `json:"id"`
+	// Per-row provenance (duplicated from the report header so rows stay
+	// self-describing when files are merged or rows are compared across
+	// regenerations).
+	SimLoop        string  `json:"sim_loop"`
+	EmuLoop        string  `json:"emu_loop"`
+	CoreWorkers    int     `json:"core_workers"`
 	WallSeconds    float64 `json:"wall_seconds"`
 	Sims           uint64  `json:"sims"`
 	CacheHits      uint64  `json:"cache_hits"`
@@ -301,6 +327,9 @@ func (b *benchReport) add(id string, wall time.Duration, prev, st runner.Stats) 
 	insts := st.SimInsts - prev.SimInsts
 	exp := benchExp{
 		ID:          id,
+		SimLoop:     b.Loop,
+		EmuLoop:     b.EmuLoop,
+		CoreWorkers: b.CoreWorkers,
 		WallSeconds: sec,
 		Sims:        st.Runs - prev.Runs,
 		CacheHits:   st.Hits - prev.Hits,

@@ -36,6 +36,8 @@ func main() {
 		conf    = flag.Float64("conf", 0.75, "B-Fetch path confidence threshold")
 		simloop = flag.String("simloop", "auto", "clock strategy: auto, event, or naive (escape hatch)")
 		emuloop = flag.String("emuloop", "auto", "functional-emulation engine: auto, compiled, or interp (escape hatch)")
+		simpar  = flag.Int("simpar", 0, "core workers (bulk-synchronous parallel stepping; 0/1 = serial, results byte-identical)")
+		scale   = flag.Bool("scale", false, "use the scale-out memory system (banked LLC, channeled DRAM) sized for the core count")
 		list    = flag.Bool("list", false, "list workloads and exit")
 
 		obsOut     = flag.String("obs", "", "write this run's observability report (bfetch-obs-run/v1 JSON) to this file, '-' for stdout")
@@ -85,10 +87,13 @@ func main() {
 	}
 	emu.DefaultExec = exec
 
+	names := strings.Split(*apps, ",")
 	cfg := sim.Default(sim.PrefetcherKind(*pf))
+	if *scale {
+		cfg = sim.DefaultScale(sim.PrefetcherKind(*pf), len(names))
+	}
 	cfg.CPU = cfg.CPU.WithWidth(*width)
 	cfg.BFetch.PathThreshold = *conf
-	names := strings.Split(*apps, ",")
 
 	var tr *obs.Trace
 	if *obsTrace != "" {
@@ -96,6 +101,7 @@ func main() {
 	}
 	opts := sim.RunOpts{
 		FastForwardInsts: *ff, WarmupInsts: *warmup, MeasureInsts: *measure, Loop: loop,
+		CoreWorkers: *simpar,
 	}
 	start := time.Now()
 	res, err := sim.RunTraced(cfg, names, opts, tr)

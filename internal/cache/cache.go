@@ -101,28 +101,70 @@ type Config struct {
 	Ways     int    // associativity
 	Latency  uint64 // access latency in cycles
 	Feedback bool   // deliver prefetch feedback from this level (L1D only)
+
+	// Banks > 1 slices the cache into address-interleaved banks (power of
+	// two; bank = low block-address bits) whose single read/write port
+	// serializes same-cycle accesses: each access holds the bank for
+	// BankBusy cycles, and later arrivals queue behind it. Used on the
+	// shared LLC for scale-out configurations; Banks <= 1 (the default)
+	// is the original unbanked timing.
+	Banks    int
+	BankBusy uint64
+	// MSHRs caps outstanding misses per bank (0 = unbounded): a miss that
+	// finds every MSHR busy waits for the earliest-completing fill to
+	// drain. Only meaningful with Banks > 1.
+	MSHRs int
+}
+
+// llcBank is one bank's port/MSHR occupancy state and counters.
+type llcBank struct {
+	nextFree uint64   // port free cycle
+	mshr     []uint64 // fill-completion cycle per outstanding miss
+
+	accesses    uint64
+	queueCycles uint64 // cycles accesses waited for the bank port
+	busyCycles  uint64 // port occupancy (accesses × BankBusy)
+	mshrStalls  uint64 // misses that found all MSHRs busy
+	mshrCycles  uint64 // cycles those misses waited for a free MSHR
+}
+
+// BankStats is a read-only snapshot of one bank's counters.
+type BankStats struct {
+	Accesses    uint64
+	QueueCycles uint64
+	BusyCycles  uint64
+	MSHRStalls  uint64
+	MSHRCycles  uint64
 }
 
 // Cache is one level of the hierarchy.
 type Cache struct {
-	cfg   Config
-	sets  int
-	ways  int
-	data  []block // sets × ways
-	next  Level
+	cfg   Config  //bfetch:noreset configuration
+	sets  int     //bfetch:noreset configuration
+	ways  int     //bfetch:noreset configuration
+	data  []block //bfetch:noreset cache contents persist across the window boundary
+	next  Level   //bfetch:noreset wiring
 	Stats Stats
 
-	feedback FeedbackHandler
+	feedback FeedbackHandler //bfetch:noreset wiring
 
 	// lc, when set (the L1D of an assembled system), classifies every
 	// prefetch's lifecycle: issue, first use (timely or late), untouched
 	// eviction, and pollution. All hooks are nil-safe no-ops when unset.
-	lc *obs.Lifecycle
+	lc *obs.Lifecycle //bfetch:noreset wiring
 
 	// Perfect, when set on a first-level data cache, makes every demand
 	// read complete at the hit latency: the paper's Perfect L1-D prefetcher
 	// upper bound (Figure 1).
-	Perfect bool
+	Perfect bool //bfetch:noreset configuration
+
+	// port, when set on a private cache, receives patch registrations for
+	// blocks installed with a pending (sentinel) readyAt; the simulator
+	// services it at end of cycle. See SharedPort.
+	port *SharedPort //bfetch:noreset wiring
+
+	banks    []llcBank
+	bankMask uint64 //bfetch:noreset configuration
 }
 
 // New builds a cache in front of next.
@@ -138,12 +180,60 @@ func New(cfg Config, next Level) *Cache {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache %s: %d sets is not a power of two", cfg.Name, sets))
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:  cfg,
 		sets: sets,
 		ways: cfg.Ways,
 		data: make([]block, sets*cfg.Ways),
 		next: next,
+	}
+	if cfg.Banks > 1 {
+		if cfg.Banks&(cfg.Banks-1) != 0 {
+			panic(fmt.Sprintf("cache %s: %d banks is not a power of two", cfg.Name, cfg.Banks))
+		}
+		c.banks = make([]llcBank, cfg.Banks)
+		c.bankMask = uint64(cfg.Banks - 1)
+		if cfg.MSHRs > 0 {
+			for i := range c.banks {
+				c.banks[i].mshr = make([]uint64, cfg.MSHRs)
+			}
+		}
+	}
+	return c
+}
+
+// Banks returns the bank count (1 when unbanked).
+func (c *Cache) Banks() int {
+	if c.banks == nil {
+		return 1
+	}
+	return len(c.banks)
+}
+
+// BankSnapshot returns bank i's counters (zero value when unbanked).
+func (c *Cache) BankSnapshot(i int) BankStats {
+	if c.banks == nil {
+		return BankStats{}
+	}
+	b := &c.banks[i]
+	return BankStats{
+		Accesses: b.accesses, QueueCycles: b.queueCycles, BusyCycles: b.busyCycles,
+		MSHRStalls: b.mshrStalls, MSHRCycles: b.mshrCycles,
+	}
+}
+
+// ResetStats zeroes the traffic counters and bank occupancy at a
+// measurement-window boundary; cache contents are deliberately kept warm.
+func (c *Cache) ResetStats() {
+	c.Stats = Stats{}
+	for i := range c.banks {
+		b := &c.banks[i]
+		b.nextFree = 0
+		for j := range b.mshr {
+			b.mshr[j] = 0
+		}
+		b.accesses, b.queueCycles, b.busyCycles = 0, 0, 0
+		b.mshrStalls, b.mshrCycles = 0, 0
 	}
 }
 
@@ -253,17 +343,45 @@ func (c *Cache) evict(b *block, now uint64) {
 //bfetch:hotpath
 func (c *Cache) writeback(req Request, now uint64) {
 	if nc, ok := c.next.(*Cache); ok {
-		if b := nc.lookup(req.BlockAddr); b != nil {
-			b.dirty = true
-			return
-		}
-		// Non-inclusive hierarchy: allocate in the next level on writeback.
-		v := nc.victim(req.BlockAddr, now, false)
-		*v = block{valid: true, tag: req.BlockAddr, dirty: true, readyAt: now, lastUse: now}
+		nc.WritebackInstall(req, now)
 		return
 	}
-	// DRAM: charge write bandwidth.
+	// DRAM or SharedPort: posted write, charge bandwidth only.
 	c.next.Access(req, now)
+}
+
+// WritebackInstall absorbs a dirty block arriving from an upper level:
+// present → mark dirty, absent → allocate (non-inclusive hierarchy). On a
+// banked cache the writeback occupies the bank port like any other access.
+//
+//bfetch:hotpath
+func (c *Cache) WritebackInstall(req Request, now uint64) {
+	if c.banks != nil {
+		now, _ = c.bankArb(req.BlockAddr, now)
+	}
+	if b := c.lookup(req.BlockAddr); b != nil {
+		b.dirty = true
+		return
+	}
+	v := c.victim(req.BlockAddr, now, false)
+	*v = block{valid: true, tag: req.BlockAddr, dirty: true, readyAt: now, lastUse: now}
+}
+
+// bankArb claims blockAddr's bank port at or after now, returning the grant
+// cycle. Within a cycle, grant order is arrival order — which the simulator
+// makes deterministic by servicing per-core ports in core-index order.
+//
+//bfetch:hotpath
+func (c *Cache) bankArb(blockAddr, now uint64) (uint64, *llcBank) {
+	b := &c.banks[blockAddr&c.bankMask]
+	b.accesses++
+	if b.nextFree > now {
+		b.queueCycles += b.nextFree - now
+		now = b.nextFree
+	}
+	b.nextFree = now + c.cfg.BankBusy
+	b.busyCycles += c.cfg.BankBusy
+	return now, b
 }
 
 // Access services a request, returning its completion cycle.
@@ -278,6 +396,11 @@ func (c *Cache) Access(req Request, now uint64) uint64 {
 	if c.Perfect && req.Kind == Read {
 		c.Stats.Hits++
 		return now + c.cfg.Latency
+	}
+
+	var bank *llcBank
+	if c.banks != nil {
+		now, bank = c.bankArb(req.BlockAddr, now)
 	}
 
 	if b := c.lookup(req.BlockAddr); b != nil {
@@ -320,7 +443,33 @@ func (c *Cache) Access(req Request, now uint64) uint64 {
 	} else {
 		c.lc.DemandMiss(0, req.BlockAddr, now)
 	}
+	if bank != nil && bank.mshr != nil {
+		// Claim the earliest-draining MSHR; a miss that finds every slot
+		// busy past now waits for one to free before its fill can issue.
+		slot := 0
+		for i := 1; i < len(bank.mshr); i++ {
+			if bank.mshr[i] < bank.mshr[slot] {
+				slot = i
+			}
+		}
+		if bank.mshr[slot] > now {
+			bank.mshrStalls++
+			bank.mshrCycles += bank.mshr[slot] - now
+			now = bank.mshr[slot]
+		}
+		fillDone := c.next.Access(fill, now+c.cfg.Latency)
+		bank.mshr[slot] = fillDone
+		return c.install(req, now, fillDone)
+	}
 	fillDone := c.next.Access(fill, now+c.cfg.Latency)
+	return c.install(req, now, fillDone)
+}
+
+// install places the missed block, registering a port patch when the fill's
+// completion is still pending (deferred shared-level access).
+//
+//bfetch:hotpath
+func (c *Cache) install(req Request, now, fillDone uint64) uint64 {
 	v := c.victim(req.BlockAddr, now, req.Kind == PrefetchFill)
 	*v = block{
 		valid:   true,
@@ -333,6 +482,9 @@ func (c *Cache) Access(req Request, now uint64) uint64 {
 		v.prefetched = true
 		v.pfLoadPC = req.LoadPC
 		v.pfWasPf = true
+	}
+	if IsPending(fillDone) {
+		c.port.Defer(&v.readyAt, fillDone)
 	}
 	return fillDone
 }
@@ -350,6 +502,15 @@ func (c *Cache) RegisterObs(reg *obs.Registry, prefix string) {
 	reg.Func(prefix+"pf_useful", func() uint64 { return c.Stats.PrefetchUseful })
 	reg.Func(prefix+"pf_useless", func() uint64 { return c.Stats.PrefetchUseless })
 	reg.Func(prefix+"merged_inflight", func() uint64 { return c.Stats.MergedInFlight })
+	for i := range c.banks {
+		b := &c.banks[i]
+		p := fmt.Sprintf("%sb%d.", prefix, i)
+		reg.Func(p+"accesses", func() uint64 { return b.accesses })
+		reg.Func(p+"queue_cycles", func() uint64 { return b.queueCycles })
+		reg.Func(p+"busy_cycles", func() uint64 { return b.busyCycles })
+		reg.Func(p+"mshr_stalls", func() uint64 { return b.mshrStalls })
+		reg.Func(p+"mshr_cycles", func() uint64 { return b.mshrCycles })
+	}
 }
 
 // Invalidate removes a block if present, without writeback (test support).

@@ -1,26 +1,62 @@
 package cache
 
-import "repro/internal/obs"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // DRAM is the off-chip memory model: a fixed access latency plus a channel
 // bandwidth gate. Every block transfer (demand fill, prefetch fill, or
-// writeback) occupies the channel for CyclesPerFill cycles; transfers queue
+// writeback) occupies a channel for CyclesPerFill cycles; transfers queue
 // behind one another, so prefetch-heavy or multiprogrammed runs feel the
 // 12.8 GB/s memory-controller limit the paper imposes (§V-A).
 //
 // With a 3.2 GHz core clock, 12.8 GB/s is 64 bytes per 16 cycles, the
 // default.
+//
+// The default model has a single channel with unbounded in-flight transfers
+// — exactly the original Table II gate. SetChannels opts into a scale-out
+// controller: block addresses interleave across a power-of-two number of
+// independent channels, and each channel additionally caps how many
+// transfers may be in flight at once (command queued until the
+// earliest-completing slot drains). Requests are granted FCFS in arrival
+// order; arrival order itself is made deterministic by the simulator, which
+// services per-core ports in core-index order within a cycle.
 type DRAM struct {
-	Latency       uint64 // access latency in cycles (Table II: 200)
-	CyclesPerFill uint64 // channel occupancy per 64-byte transfer
+	Latency       uint64 //bfetch:noreset configuration
+	CyclesPerFill uint64 //bfetch:noreset configuration
 
-	nextFree uint64
+	nextFree uint64 // single-channel fast path (chans == nil)
 
-	// Traffic accounting.
+	chans       []dramChannel
+	chanMask    uint64 //bfetch:noreset configuration
+	maxInflight int    //bfetch:noreset configuration
+
+	// Traffic accounting (aggregated across channels).
 	DemandFills   uint64
 	PrefetchFills uint64
 	Writebacks    uint64
-	StallCycles   uint64 // cycles requests spent queued behind the channel
+	StallCycles   uint64 // cycles requests spent queued behind a channel
+}
+
+// dramChannel is one independent channel's occupancy state and counters.
+type dramChannel struct {
+	nextFree uint64   // command/data bus free cycle
+	slots    []uint64 // busy-until per in-flight transfer (len == maxInflight)
+
+	transfers   uint64
+	stallCycles uint64 // bus queueing delay absorbed by this channel
+	slotCycles  uint64 // extra delay waiting for an in-flight slot
+	busyCycles  uint64 // data-bus occupancy (transfers × CyclesPerFill)
+}
+
+// ChannelStats is a read-only snapshot of one channel's counters.
+type ChannelStats struct {
+	Transfers   uint64
+	StallCycles uint64
+	SlotCycles  uint64
+	BusyCycles  uint64
 }
 
 // NewDRAM returns the Table II DRAM model.
@@ -28,16 +64,93 @@ func NewDRAM() *DRAM {
 	return &DRAM{Latency: 200, CyclesPerFill: 16}
 }
 
+// SetChannels reconfigures the controller with `channels` address-interleaved
+// channels (power of two) each capped at maxInflight concurrent transfers
+// (0 = unbounded). channels <= 1 restores the single-channel model.
+func (d *DRAM) SetChannels(channels, maxInflight int) error {
+	if channels <= 1 {
+		d.chans, d.chanMask, d.maxInflight = nil, 0, 0
+		return nil
+	}
+	if channels&(channels-1) != 0 {
+		return fmt.Errorf("cache: DRAM channels must be a power of two, got %d", channels)
+	}
+	d.chans = make([]dramChannel, channels)
+	d.chanMask = uint64(channels - 1)
+	d.maxInflight = maxInflight
+	if maxInflight > 0 {
+		for i := range d.chans {
+			d.chans[i].slots = make([]uint64, maxInflight)
+		}
+	}
+	return nil
+}
+
+// Channels returns the number of independent channels (1 for the default
+// model).
+func (d *DRAM) Channels() int {
+	if d.chans == nil {
+		return 1
+	}
+	return len(d.chans)
+}
+
+// ChannelSnapshot returns channel i's counters. For the single-channel
+// default, channel 0 aliases the aggregate counters.
+func (d *DRAM) ChannelSnapshot(i int) ChannelStats {
+	if d.chans == nil {
+		return ChannelStats{
+			Transfers:   d.Transfers(),
+			StallCycles: d.StallCycles,
+			BusyCycles:  d.Transfers() * d.CyclesPerFill,
+		}
+	}
+	c := &d.chans[i]
+	return ChannelStats{Transfers: c.transfers, StallCycles: c.stallCycles, SlotCycles: c.slotCycles, BusyCycles: c.busyCycles}
+}
+
 // Access implements Level.
 //
 //bfetch:hotpath
 func (d *DRAM) Access(req Request, now uint64) uint64 {
 	start := now
-	if d.nextFree > start {
-		d.StallCycles += d.nextFree - start
-		start = d.nextFree
+	if d.chans == nil {
+		if d.nextFree > start {
+			d.StallCycles += d.nextFree - start
+			start = d.nextFree
+		}
+		d.nextFree = start + d.CyclesPerFill
+	} else {
+		c := &d.chans[req.BlockAddr&d.chanMask]
+		if c.nextFree > start {
+			c.stallCycles += c.nextFree - start
+			d.StallCycles += c.nextFree - start
+			start = c.nextFree
+		}
+		if d.maxInflight > 0 {
+			// Claim the earliest-draining in-flight slot; if all are busy
+			// past start, the transfer waits for one to complete.
+			slot := 0
+			for i := 1; i < len(c.slots); i++ {
+				if c.slots[i] < c.slots[slot] {
+					slot = i
+				}
+			}
+			if c.slots[slot] > start {
+				c.slotCycles += c.slots[slot] - start
+				d.StallCycles += c.slots[slot] - start
+				start = c.slots[slot]
+			}
+			if req.Kind == Write {
+				c.slots[slot] = start + d.CyclesPerFill
+			} else {
+				c.slots[slot] = start + d.Latency
+			}
+		}
+		c.nextFree = start + d.CyclesPerFill
+		c.transfers++
+		c.busyCycles += d.CyclesPerFill
 	}
-	d.nextFree = start + d.CyclesPerFill
 	switch req.Kind {
 	case PrefetchFill:
 		d.PrefetchFills++
@@ -52,16 +165,45 @@ func (d *DRAM) Access(req Request, now uint64) uint64 {
 	return start + d.Latency
 }
 
-// Transfers returns the total block transfers the channel carried.
+// Transfers returns the total block transfers the controller carried.
 func (d *DRAM) Transfers() uint64 { return d.DemandFills + d.PrefetchFills + d.Writebacks }
 
-// RegisterObs exports the channel's traffic counters into the metrics
-// registry under prefix (normally "dram.").
+// ResetStats zeroes the traffic counters and channel occupancy at a
+// measurement-window boundary. The clock is monotonic across the boundary,
+// so clearing occupancy declares the bus idle at window start — the same
+// convention the caches use for block readyAt merging.
+func (d *DRAM) ResetStats() {
+	d.nextFree = 0
+	for i := range d.chans {
+		c := &d.chans[i]
+		c.nextFree = 0
+		for j := range c.slots {
+			c.slots[j] = 0
+		}
+		c.transfers, c.stallCycles, c.slotCycles, c.busyCycles = 0, 0, 0, 0
+	}
+	d.DemandFills = 0
+	d.PrefetchFills = 0
+	d.Writebacks = 0
+	d.StallCycles = 0
+}
+
+// RegisterObs exports the controller's traffic counters into the metrics
+// registry under prefix (normally "dram."), plus per-channel occupancy and
+// queueing-delay series when multiple channels are configured.
 func (d *DRAM) RegisterObs(reg *obs.Registry, prefix string) {
 	reg.Func(prefix+"demand_fills", func() uint64 { return d.DemandFills })
 	reg.Func(prefix+"prefetch_fills", func() uint64 { return d.PrefetchFills })
 	reg.Func(prefix+"writebacks", func() uint64 { return d.Writebacks })
 	reg.Func(prefix+"stall_cycles", func() uint64 { return d.StallCycles })
+	for i := range d.chans {
+		c := &d.chans[i]
+		p := fmt.Sprintf("%sch%d.", prefix, i)
+		reg.Func(p+"transfers", func() uint64 { return c.transfers })
+		reg.Func(p+"stall_cycles", func() uint64 { return c.stallCycles })
+		reg.Func(p+"slot_cycles", func() uint64 { return c.slotCycles })
+		reg.Func(p+"busy_cycles", func() uint64 { return c.busyCycles })
+	}
 }
 
 // HierarchyConfig sizes one core's cache stack. The shared LLC and DRAM are
@@ -91,6 +233,10 @@ type Hierarchy struct {
 	// ASID tags every address so multiprogrammed address spaces do not
 	// alias in the shared LLC.
 	ASID uint64
+	// Port, when non-nil, is the core's deferred gateway to the shared
+	// levels; completion times carrying the pending bit are resolved when
+	// the simulator services it at end of cycle.
+	Port *SharedPort
 }
 
 // NewHierarchy builds a private L1D+L2 in front of the shared LLC.
@@ -98,6 +244,27 @@ func NewHierarchy(cfg HierarchyConfig, shared Level, asid int) *Hierarchy {
 	l2 := New(Config{Name: "L2", Bytes: cfg.L2Bytes, Ways: cfg.L2Ways, Latency: cfg.L2Latency}, shared)
 	l1 := New(Config{Name: "L1D", Bytes: cfg.L1Bytes, Ways: cfg.L1Ways, Latency: cfg.L1Latency, Feedback: true}, l2)
 	return &Hierarchy{L1D: l1, L2: l2, ASID: uint64(asid)}
+}
+
+// NewHierarchyPorted builds a private stack whose shared-level traffic is
+// deferred through the given per-core port (see SharedPort). The private
+// caches register their pending block fills with the port so sentinel
+// readyAt values are patched when the port is serviced.
+func NewHierarchyPorted(cfg HierarchyConfig, port *SharedPort, asid int) *Hierarchy {
+	h := NewHierarchy(cfg, port, asid)
+	h.Port = port
+	h.L1D.port = port
+	h.L2.port = port
+	return h
+}
+
+// DeferDone registers target (which currently holds the pending-tagged
+// completion time sentinel) to be patched with the real completion cycle
+// when the core's port is serviced.
+//
+//bfetch:hotpath
+func (h *Hierarchy) DeferDone(target *uint64, sentinel uint64) {
+	h.Port.Defer(target, sentinel)
 }
 
 // extend tags a virtual byte address with the hierarchy's address-space ID.

@@ -78,6 +78,7 @@ type robEntry struct {
 	stData  int64
 	doneAt  uint64
 	faulted bool
+	sqWait  uint64 // sqGen when this load was last found blocked
 
 	// Control-flow bookkeeping.
 	predTaken   bool
@@ -148,6 +149,17 @@ type Core struct {
 	sqUnknown int
 	sqBuck    [64]int32
 	sqMask    uint64
+
+	// sqGen versions the store-queue state a load's disambiguation depends
+	// on: it advances whenever a queued store resolves its address, drains
+	// at commit, or the queue rolls back on a squash. A blocked load records
+	// the generation it was rejected under (robEntry.sqWait) and is not
+	// re-scanned until the generation moves — a pure memoization, since an
+	// unchanged queue returns the same verdict and a blocked attempt has no
+	// side effects (no port use, no counters). Stores *entering* the queue
+	// do not advance it: a new store is younger than every already-pending
+	// load, and disambiguation only looks at older stores.
+	sqGen uint64
 
 	// fq is the fetch queue as a ring: capacity cfg.FetchQueue, allocated
 	// once. (A plain slice advanced with fq[1:] would re-allocate its
@@ -426,6 +438,7 @@ func (c *Core) commit(now uint64) {
 			}
 			c.sqN--
 			c.sqBuckDrop(e.ea) // a committed store always resolved its address
+			c.sqGen++          // drained: loads blocked behind it may pass now
 		}
 		e.seq = 0
 		if c.headSlot++; c.headSlot == len(c.rob) {
@@ -539,10 +552,13 @@ func (c *Core) recover(e *robEntry, now uint64) {
 	c.fqHead, c.fqN = 0, 0
 
 	// Drop squashed stores from the disambiguation queue (they are at the
-	// tail: stores enter in program order).
+	// tail: stores enter in program order). Squashed stores are younger
+	// than every surviving load, so no surviving verdict can change — the
+	// generation bump is belt-and-braces for a rare path.
 	for c.sqN > 0 && c.sqAt(c.sqN-1).seq > e.seq {
 		c.sqN--
 	}
+	c.sqGen++
 
 	// Restore the rename table from the branch's snapshot, dropping
 	// mappings to entries that committed while the branch was in flight.
@@ -589,7 +605,13 @@ func (c *Core) issue(now uint64) {
 	if bmAny(c.pendBM) {
 		it.init(c.pendBM, c.headSlot)
 		for s, ok := it.next(); ok && ports > 0; s, ok = it.next() {
-			if c.tryLoad(&c.rob[s], now) {
+			e := &c.rob[s]
+			if e.sqWait == c.sqGen {
+				// Store queue unchanged since this load was last rejected:
+				// the verdict cannot have moved, skip the rescan.
+				continue
+			}
+			if c.tryLoad(e, now) {
 				ports--
 				bmClear(c.pendBM, s)
 			}
@@ -621,7 +643,15 @@ func (c *Core) execute(e *robEntry, now uint64, ports *int) {
 	case in.IsLoad():
 		e.ea = uint64(e.srcVal[0] + in.Imm)
 		e.eaValid = true
-		if !(*ports > 0 && c.tryLoad(e, now)) {
+		if *ports == 0 {
+			// Parked for a port, not by a store-queue verdict: it must be
+			// retried whatever the generation. sqGen only grows, so the
+			// predecessor value can never match a current generation.
+			e.sqWait = c.sqGen - 1
+			bmSet(c.pendBM, e.slot)
+			return
+		}
+		if !c.tryLoad(e, now) {
 			bmSet(c.pendBM, e.slot)
 			return
 		}
@@ -636,6 +666,7 @@ func (c *Core) execute(e *robEntry, now uint64, ports *int) {
 		// from the unknown counter to its address bucket.
 		c.sqUnknown--
 		c.sqBuckAdd(e.ea)
+		c.sqGen++ // resolved: blocked loads can re-disambiguate
 	case in.IsControl():
 		e.actualTaken = emu.BranchTaken(in.Op, e.srcVal[0])
 		switch {
@@ -671,6 +702,7 @@ func (c *Core) execute(e *robEntry, now uint64, ports *int) {
 func (c *Core) tryLoad(e *robEntry, now uint64) bool {
 	fwd, val, blocked := c.disambiguate(e)
 	if blocked {
+		e.sqWait = c.sqGen
 		return false
 	}
 	if fwd {
@@ -681,6 +713,11 @@ func (c *Core) tryLoad(e *robEntry, now uint64) bool {
 		e.destVal = c.mem.ReadInt64(e.ea)
 		done, hit := c.hier.Load(e.ea, now)
 		e.doneAt = done
+		if cache.IsPending(done) {
+			// Shared-level access deferred through the core's port: the real
+			// completion cycle is patched in at the end-of-cycle service.
+			c.hier.DeferDone(&e.doneAt, done)
+		}
 		if hit {
 			c.Stats.LoadL1Hits++
 		} else {

@@ -57,6 +57,18 @@ func ParseExecMode(s string) (ExecMode, error) {
 	return ExecAuto, fmt.Errorf("emu: unknown emulator loop mode %q (want auto, interp, or compiled)", s)
 }
 
+// String implements fmt.Stringer for flag help, logs, and bench provenance.
+func (m ExecMode) String() string {
+	switch m {
+	case ExecInterp:
+		return "interp"
+	case ExecCompiled:
+		return "compiled"
+	default:
+		return "auto"
+	}
+}
+
 // useCompiled reports whether Run should dispatch to the threaded-code
 // engine. An OnRetire hook forces the interpreter: the hook's contract is
 // one callback per retired instruction with the full Retire record, and the

@@ -31,6 +31,9 @@ type Params struct {
 	Workloads []string
 	// Mixes is the number of multiprogrammed mixes (paper: 29).
 	Mixes int
+	// ScaleCores lists the CMP sizes the scale experiment sweeps
+	// (nil = 2, 4, 8, 16, 64).
+	ScaleCores []int
 	// Log, when non-nil, receives progress lines. Writes are serialized, so
 	// sharing one writer across concurrent experiments is safe.
 	Log io.Writer

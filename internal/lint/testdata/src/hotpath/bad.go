@@ -51,6 +51,34 @@ func badControl(w *widget) {
 	_ = q
 }
 
+// chan0 mimics a DRAM channel / LLC bank: occupancy slots plus counters.
+type chan0 struct {
+	slots []uint64
+	waits uint64
+}
+
+// badChannelTick is the contention-model regression the banked LLC and the
+// channeled DRAM must never grow: materializing the per-access slot scan
+// into a fresh slice (or map) turns every memory access into a heap
+// allocation. The shipping models min-scan the preallocated slots in place
+// (see goodBankArb in good.go).
+//
+//bfetch:hotpath
+func badChannelTick(c *chan0, now uint64) uint64 {
+	free := make([]uint64, 0, len(c.slots)) // want "make allocates"
+	for _, s := range c.slots {
+		if s <= now {
+			free = append(free, s) // want "append to freshly allocated local"
+		}
+	}
+	byDeadline := map[uint64]int{} // want "map literal allocates"
+	_ = byDeadline
+	if len(free) == 0 {
+		c.waits++
+	}
+	return now
+}
+
 // op mimics the threaded-code emulator's pre-decoded record.
 type op struct {
 	kind   uint8

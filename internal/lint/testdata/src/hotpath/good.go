@@ -42,6 +42,56 @@ func goodSuppressed(n int) error {
 
 func errf(format string, args ...any) error { return nil }
 
+// bank mirrors the banked-LLC / DRAM-channel tick shape: fixed occupancy
+// slots scanned with a min-loop, counters bumped in place — the contention
+// models' whole per-access footprint.
+type bank struct {
+	nextFree uint64
+	slots    []uint64
+	queued   uint64
+}
+
+//bfetch:hotpath
+func goodBankArb(banks []bank, addr, now uint64) uint64 {
+	// Indexing into a preallocated bank array and min-scanning its fixed
+	// slot slice allocates nothing; neither do the counter updates.
+	b := &banks[addr&uint64(len(banks)-1)]
+	if b.nextFree > now {
+		b.queued += b.nextFree - now
+		now = b.nextFree
+	}
+	slot := 0
+	for i := 1; i < len(b.slots); i++ {
+		if b.slots[i] < b.slots[slot] {
+			slot = i
+		}
+	}
+	if b.slots[slot] > now {
+		now = b.slots[slot]
+	}
+	b.slots[slot] = now + 4
+	b.nextFree = now + 2
+	return now
+}
+
+// port mirrors the SharedPort service shape: per-cycle request/fill queues
+// drained and refilled through receiver-field scratch buffers.
+type port struct {
+	reqs  []uint64
+	fills []uint64
+}
+
+//bfetch:hotpath
+func goodPortService(p *port, banks []bank, now uint64) {
+	for _, r := range p.reqs {
+		// Receiver-field append is the sanctioned scratch idiom: the
+		// backing arrays reach steady-state capacity and are then reused.
+		p.fills = append(p.fills, goodBankArb(banks, r, now))
+	}
+	p.reqs = p.reqs[:0]
+	p.fills = p.fills[:0]
+}
+
 // notAnnotated allocates freely: without //bfetch:hotpath the analyzer must
 // stay silent.
 func notAnnotated(n int) []int {

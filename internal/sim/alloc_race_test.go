@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled gates the zero-allocation assertions: the race detector's
+// instrumentation allocates on paths that are allocation-free in a normal
+// build, so AllocsPerRun readings are meaningless under -race.
+const raceEnabled = true

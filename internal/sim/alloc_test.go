@@ -1,0 +1,51 @@
+package sim
+
+// The per-cycle kernel's zero-allocation contract, asserted at system scale:
+// internal/cpu's TestCycleZeroAlloc covers one core over an unbanked
+// hierarchy; this is the scale-out configuration — 16 cores, deferred
+// shared-level ports, banked LLC with MSHRs, channeled DRAM — stepped
+// exactly as the cycle loops step it (tick phase, then port service).
+
+import "testing"
+
+// TestBankedCMPCycleZeroAlloc drives a full 16-core scale-out system — core
+// ticks, per-core port service through bank arbitration, MSHR claim and DRAM
+// channel slots — and requires a steady state of zero heap allocations per
+// system cycle.
+func TestBankedCMPCycleZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed by the race detector")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s, err := buildSystem(DefaultScale(PFBFetch, len(mix16)), mix16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	due := make([]int32, 0, len(s.Cores))
+	var now uint64
+	step := func() {
+		due = due[:0]
+		for i := range s.Cores {
+			if !s.Cores[i].Halted() {
+				due = append(due, int32(i))
+			}
+		}
+		s.tickCores(due, now)
+		s.servicePorts(due)
+		now++
+	}
+	// Warm every buffer — ROBs, port queues, MSHRs, channel slots, engine
+	// tables — to steady-state capacity.
+	for now < 30_000 {
+		step()
+	}
+	if len(due) != len(s.Cores) {
+		t.Fatalf("only %d of %d cores still active after warmup", len(due), len(s.Cores))
+	}
+	avg := testing.AllocsPerRun(2000, step)
+	if avg != 0 {
+		t.Errorf("banked 16-core system cycle: %.3f allocs/cycle, want 0", avg)
+	}
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/cpu"
+)
+
+// corePool runs one cycle's core-local work on a fixed set of workers:
+// bulk-synchronous parallel stepping. Inside a cycle, cores are fully
+// independent — every access bound for the shared LLC/DRAM is queued on the
+// core's SharedPort rather than serviced — so the only cross-core
+// interactions happen after the barrier, when the simulator services the
+// ports in core-index order. Worker scheduling therefore cannot influence
+// any simulated outcome: it reorders core *execution* within the cycle, but
+// never the order shared state is touched in. That is the whole determinism
+// argument, and it is why results are byte-identical at any worker count.
+//
+// The partition is static (worker w ticks due[w], due[w+W], ...): with no
+// sharing inside the cycle there is nothing to steal, and a static stride
+// keeps the per-cycle overhead to one token send and one WaitGroup wait per
+// worker.
+type corePool struct {
+	cores   []*cpu.Core
+	workers int
+
+	due []int32 // written by run before the token sends, read by workers
+	now uint64
+
+	// One token channel per worker: worker w only ever receives from
+	// start[w], so a worker that finishes its slice early can never steal
+	// the token addressed to a slower sibling and tick its own slice twice
+	// in one phase (which would skip the sibling's cores that cycle — not a
+	// data race, but a nondeterministic partition).
+	start []chan struct{}
+	wg    sync.WaitGroup
+}
+
+// newCorePool spawns the workers. Callers must stop() the pool when the run
+// finishes.
+func newCorePool(cores []*cpu.Core, workers int) *corePool {
+	p := &corePool{cores: cores, workers: workers, start: make([]chan struct{}, workers)}
+	for w := 0; w < workers; w++ {
+		p.start[w] = make(chan struct{}, 1)
+		go p.worker(w)
+	}
+	return p
+}
+
+func (p *corePool) worker(w int) {
+	for range p.start[w] {
+		due, now := p.due, p.now
+		for k := w; k < len(due); k += p.workers {
+			p.cores[due[k]].Cycle(now)
+		}
+		p.wg.Done()
+	}
+}
+
+// run ticks every core in due at cycle now and blocks until all are done.
+// The channel sends publish p.due/p.now to the workers; wg.Wait orders their
+// writes (port queues, core state) before the caller's service phase.
+func (p *corePool) run(due []int32, now uint64) {
+	p.due, p.now = due, now
+	p.wg.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		p.start[w] <- struct{}{}
+	}
+	p.wg.Wait()
+}
+
+func (p *corePool) stop() {
+	for _, ch := range p.start {
+		close(ch)
+	}
+}

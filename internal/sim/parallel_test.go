@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// mix16 tiles eight memory-diverse workloads twice: the 16-core CMP mix the
+// scale-out engine targets. Every core is active the whole run, so the
+// worker-pool partition, the banked LLC and the channeled DRAM all see
+// sustained same-cycle contention.
+var mix16 = []string{
+	"mcf", "lbm", "milc", "astar", "libquantum", "soplex", "sphinx", "leslie3d",
+	"mcf", "lbm", "milc", "astar", "libquantum", "soplex", "sphinx", "leslie3d",
+}
+
+// parOpts is small enough to sweep seven engines twice per loop mode but
+// long enough to fill the port queues, bank MSHRs and DRAM channel slots.
+var parOpts = RunOpts{WarmupInsts: 2_000, MeasureInsts: 6_000}
+
+// TestParallelEquivalenceAllEngines is the BSP stepping contract: for every
+// prefetcher engine, on both clock loops, a 16-core scale-out run with
+// CoreWorkers > 1 must reproduce the serial Result snapshot bit for bit.
+// Worker scheduling may reorder core execution within a cycle, but all
+// shared-memory traffic is deferred through per-core ports serviced in
+// core-index order, so no simulated outcome may move.
+func TestParallelEquivalenceAllEngines(t *testing.T) {
+	engines := []PrefetcherKind{PFNone, PFNextN, PFStride, PFSMS, PFSTeMS, PFISB, PFBFetch}
+	for _, kind := range engines {
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultScale(kind, len(mix16))
+			for _, loop := range []LoopMode{LoopEvent, LoopNaive} {
+				opts := parOpts
+				opts.Loop = loop
+				serial, err := Run(cfg, mix16, opts)
+				if err != nil {
+					t.Fatalf("loop %v serial: %v", loop, err)
+				}
+				opts.CoreWorkers = 5 // odd on purpose: uneven stride partition
+				par, err := Run(cfg, mix16, opts)
+				if err != nil {
+					t.Fatalf("loop %v parallel: %v", loop, err)
+				}
+				if !reflect.DeepEqual(serial, par) {
+					t.Errorf("loop %v: parallel snapshot diverges from serial\nserial: %+v\nparallel: %+v",
+						loop, serial, par)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelWorkerCountInvariance pins the stronger form of the claim:
+// the result is identical at ANY worker count, including counts above the
+// core count (clamped) and counts that do not divide it.
+func TestParallelWorkerCountInvariance(t *testing.T) {
+	cfg := DefaultScale(PFBFetch, len(mix16))
+	serial, err := Run(cfg, mix16, parOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8, 16, 64} {
+		opts := parOpts
+		opts.CoreWorkers = w
+		par, err := Run(cfg, mix16, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("workers=%d: snapshot diverges from serial", w)
+		}
+	}
+}
+
+// TestParallelEquivalenceOnError covers the failure path under BSP stepping:
+// a run that hits the cycle bound must fail with the same error text and
+// identical partial counters whether cores step serially or on the pool.
+func TestParallelEquivalenceOnError(t *testing.T) {
+	run := func(workers int) (Result, error) {
+		s, err := buildSystem(DefaultScale(PFNone, 4),
+			[]string{"libquantum", "mcf", "milc", "lbm"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.CoreWorkers = workers
+		err = s.Run(1<<40, 30_000) // unreachable budget: must hit the bound
+		return s.Snapshot(), err
+	}
+
+	serial, errS := run(0)
+	par, errP := run(3)
+	if errS == nil || errP == nil {
+		t.Fatalf("expected both runs to hit the cycle bound (serial %v, parallel %v)", errS, errP)
+	}
+	if errS.Error() != errP.Error() {
+		t.Errorf("error text diverges:\nserial:   %v\nparallel: %v", errS, errP)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("partial snapshots diverge\nserial: %+v\nparallel: %+v", serial, par)
+	}
+}

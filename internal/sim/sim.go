@@ -58,6 +58,21 @@ type Config struct {
 	// transfer; Table II's 12.8 GB/s at 3.2 GHz is 16.
 	DRAMCyclesPerFill uint64
 
+	// Scale-out memory-system knobs (all zero in the Table II baseline,
+	// reproducing the original uncontended models exactly).
+	//
+	// LLCBanks > 1 address-interleaves the shared LLC into that many banks
+	// (power of two), each holding its port for LLCBankBusy cycles per
+	// access and capping outstanding misses at LLCMSHRs (0 = unbounded).
+	LLCBanks    int
+	LLCBankBusy uint64
+	LLCMSHRs    int
+	// DRAMChannels > 1 splits DRAM bandwidth across address-interleaved
+	// channels (power of two), each limited to DRAMChanInflight concurrent
+	// transfers (0 = unbounded).
+	DRAMChannels     int
+	DRAMChanInflight int
+
 	Prefetcher PrefetcherKind
 	BFetch     core.Config // used when Prefetcher == PFBFetch
 	SMS        sms.Config  // used when Prefetcher == PFSMS
@@ -93,6 +108,29 @@ func Default(pf PrefetcherKind) Config {
 		ISB:               isb.DefaultConfig(),
 		STeMS:             stems.DefaultConfig(),
 	}
+}
+
+// DefaultScale returns the scale-out configuration for a CMP of the given
+// size: the Table II baseline plus a banked LLC and a channeled DRAM whose
+// capacities grow with the core count, so big mixes contend for realistic
+// shared resources instead of an infinitely-ported LLC and a single
+// serializing DRAM channel.
+func DefaultScale(pf PrefetcherKind, cores int) Config {
+	cfg := Default(pf)
+	cfg.Cores = cores
+	banks, channels := 4, 2
+	switch {
+	case cores > 16:
+		banks, channels = 16, 8
+	case cores > 4:
+		banks, channels = 8, 4
+	}
+	cfg.LLCBanks = banks
+	cfg.LLCBankBusy = 2
+	cfg.LLCMSHRs = 16
+	cfg.DRAMChannels = channels
+	cfg.DRAMChanInflight = 8
+	return cfg
 }
 
 // LoopMode selects how System.Run advances the shared clock.
@@ -147,8 +185,20 @@ type System struct {
 	LLC   *cache.Cache
 	DRAM  *cache.DRAM
 
+	// Ports hold each core's deferred gateway to the shared levels; the run
+	// loops service them in core-index order at the end of every cycle in
+	// which the owning core ticked (cache.SharedPort documents why that is
+	// bit-identical to synchronous access).
+	Ports []*cache.SharedPort //bfetch:noreset wiring; drained every cycle
+
 	// Loop selects the clock-advance strategy; LoopAuto means DefaultLoop.
 	Loop LoopMode //bfetch:noreset configuration
+
+	// CoreWorkers > 1 enables bulk-synchronous parallel stepping: each
+	// cycle's core-local work runs on that many workers (see corePool).
+	// Results are byte-identical at any worker count. Ignored while a
+	// lifecycle trace is attached (the trace ring is shared across cores).
+	CoreWorkers int //bfetch:noreset configuration
 
 	// Reg is the system's unified metrics registry: every component —
 	// cores, caches, DRAM, prefetch engines, lifecycle classifiers —
@@ -162,6 +212,12 @@ type System struct {
 
 	clock     uint64 //bfetch:noreset global simulation clock, monotonic across the reset
 	statsBase uint64 // clock value at the last ResetStats
+
+	// Run-loop scratch state, reseeded at every Run call.
+	sched         evtHeap  //bfetch:noreset scheduler state, reseeded by Run
+	nextUncounted []uint64 //bfetch:noreset scheduler state, reseeded by Run
+	due           []int32   //bfetch:noreset scratch
+	pool          *corePool //bfetch:noreset live only inside Run
 }
 
 // boot is one core's starting state: a program, its memory image, and —
@@ -214,11 +270,20 @@ func assemble(cfg Config, boots []boot) (*System, error) {
 	if cfg.DRAMCyclesPerFill > 0 {
 		dram.CyclesPerFill = cfg.DRAMCyclesPerFill
 	}
+	if err := dram.SetChannels(cfg.DRAMChannels, cfg.DRAMChanInflight); err != nil {
+		return nil, err
+	}
+	if cfg.LLCBanks > 1 && cfg.LLCBanks&(cfg.LLCBanks-1) != 0 {
+		return nil, fmt.Errorf("sim: LLCBanks must be a power of two, got %d", cfg.LLCBanks)
+	}
 	llc := cache.New(cache.Config{
-		Name:    "L3",
-		Bytes:   cfg.LLCPerCore * cfg.Cores,
-		Ways:    cfg.LLCWays,
-		Latency: cfg.LLCLatency,
+		Name:     "L3",
+		Bytes:    cfg.LLCPerCore * cfg.Cores,
+		Ways:     cfg.LLCWays,
+		Latency:  cfg.LLCLatency,
+		Banks:    cfg.LLCBanks,
+		BankBusy: cfg.LLCBankBusy,
+		MSHRs:    cfg.LLCMSHRs,
 	}, dram)
 
 	reg := obs.NewRegistry()
@@ -228,7 +293,9 @@ func assemble(cfg Config, boots []boot) (*System, error) {
 	s := &System{Cfg: cfg, LLC: llc, DRAM: dram, Reg: reg}
 	for i, bt := range boots {
 		prog, image := bt.prog, bt.mem
-		hier := cache.NewHierarchy(cfg.Hier, llc, i)
+		port := cache.NewSharedPort(llc)
+		hier := cache.NewHierarchyPorted(cfg.Hier, port, i)
+		s.Ports = append(s.Ports, port)
 		bp := branch.New(cfg.Branch)
 		conf := branch.NewConfidence(cfg.Confidence)
 
@@ -314,14 +381,26 @@ func (f feedbackAdapter) PrefetchUseless(loadPC, blockAddr uint64) {
 // architectural fault. Cores that reach their budget stop cycling, matching
 // the paper's run-until-all-done methodology.
 //
-// The clock strategy is governed by Loop (default: event-driven skipping);
-// both strategies produce bit-identical statistics and errors.
+// The clock strategy is governed by Loop (default: event-driven skipping)
+// and the stepping by CoreWorkers; every combination produces bit-identical
+// statistics and errors.
 func (s *System) Run(instsPerCore, maxCycles uint64) error {
 	target := make([]uint64, len(s.Cores))
 	for i, c := range s.Cores {
 		target[i] = c.Stats.Committed + instsPerCore
 	}
 	limit := s.clock + maxCycles
+	if s.CoreWorkers > 1 && len(s.Cores) > 1 && s.tr == nil {
+		workers := s.CoreWorkers
+		if workers > len(s.Cores) {
+			workers = len(s.Cores)
+		}
+		s.pool = newCorePool(s.Cores, workers)
+		defer func() {
+			s.pool.stop()
+			s.pool = nil
+		}()
+	}
 	mode := s.Loop
 	if mode == LoopAuto {
 		mode = DefaultLoop
@@ -332,11 +411,63 @@ func (s *System) Run(instsPerCore, maxCycles uint64) error {
 	return s.runEvent(target, limit, instsPerCore, maxCycles)
 }
 
+// tickCores runs Cycle(now) on every core in due — serially in index order,
+// or on the worker pool when one is attached. The two are interchangeable:
+// during the tick cores touch private state only (shared-level traffic
+// queues on their ports), so execution order within the cycle is
+// unobservable.
+func (s *System) tickCores(due []int32, now uint64) {
+	if s.pool != nil && len(due) > 1 {
+		s.pool.run(due, now)
+		return
+	}
+	for _, i := range due {
+		s.Cores[i].Cycle(now)
+	}
+}
+
+// servicePorts replays the cycle's queued shared-level traffic in core-index
+// order (due is always ascending) — the deterministic tie-break for LLC bank
+// and DRAM channel contention within a cycle.
+func (s *System) servicePorts(due []int32) {
+	for _, i := range due {
+		s.Ports[i].Service()
+	}
+}
+
+// boundErr reports a run that hit the cycle bound, naming the core furthest
+// from its commit target so heterogeneous mixes point at the actual
+// straggler. Both loops return it under identical conditions with identical
+// text.
+func (s *System) boundErr(target []uint64, instsPerCore, maxCycles uint64) error {
+	lag, lagShort := -1, uint64(0)
+	unfinished := 0
+	for i, c := range s.Cores {
+		if c.Stats.Committed >= target[i] {
+			continue
+		}
+		unfinished++
+		if short := target[i] - c.Stats.Committed; short > lagShort {
+			lag, lagShort = i, short
+		}
+	}
+	if lag < 0 {
+		// Boundary case: the final cores finished on the very cycle the
+		// bound fell on; the naive loop has always reported this as a bound
+		// error, so both loops still do.
+		return fmt.Errorf("sim: exceeded %d cycles before reaching %d instructions/core (all cores reached their targets at the bound)",
+			maxCycles, instsPerCore)
+	}
+	return fmt.Errorf("sim: exceeded %d cycles before reaching %d instructions/core (%d of %d cores unfinished; core %d lags furthest at %d of %d insts)",
+		maxCycles, instsPerCore, unfinished, len(s.Cores), lag, s.Cores[lag].Stats.Committed, target[lag])
+}
+
 // runNaive is the reference loop: every still-running core is ticked every
-// cycle, whether or not it can make progress.
+// cycle, whether or not it can make progress, and the cycle's shared-memory
+// traffic is serviced at its end in core-index order.
 func (s *System) runNaive(target []uint64, limit, instsPerCore, maxCycles uint64) error {
 	for {
-		active := false
+		due := s.due[:0]
 		for i, c := range s.Cores {
 			if c.Halted() {
 				if err := c.Err(); err != nil {
@@ -347,87 +478,123 @@ func (s *System) runNaive(target []uint64, limit, instsPerCore, maxCycles uint64
 			if c.Stats.Committed >= target[i] {
 				continue
 			}
-			active = true
-			c.Cycle(s.clock)
+			due = append(due, int32(i))
 		}
-		if !active {
+		s.due = due
+		if len(due) == 0 {
 			return nil
 		}
+		s.tickCores(due, s.clock)
+		s.servicePorts(due)
 		s.clock++
 		if s.clock >= limit {
-			return fmt.Errorf("sim: exceeded %d cycles before reaching %d instructions/core",
-				maxCycles, instsPerCore)
+			return s.boundErr(target, instsPerCore, maxCycles)
 		}
 	}
 }
 
 // runEvent advances the clock directly to the earliest cycle at which any
-// core can do work, crediting skipped cycles to each still-running core's
-// cycle counter — exactly what the naive loop's empty ticks would have done.
-// Stall-heavy (memory-bound) workloads spend most of their wall-clock in
-// those empty ticks, so this is where the simulator's throughput comes from.
+// core has scheduled work, crediting skipped cycles to each still-running
+// core's counter — exactly what the naive loop's empty ticks would have
+// done. Per-core next-event cycles are cached in an indexed min-heap
+// (evtHeap) and recomputed only for cores that actually ticked, so one
+// event costs O(ticked cores · log N) instead of the O(N) rescan the
+// pre-indexed loop paid. Idle crediting is lazy: each core records the
+// first cycle not yet reflected in its counter (nextUncounted) and absorbs
+// the gap the next time it ticks, or in one flush when the run ends early.
 func (s *System) runEvent(target []uint64, limit, instsPerCore, maxCycles uint64) error {
+	s.sched.reset(len(s.Cores))
+	if cap(s.nextUncounted) < len(s.Cores) {
+		s.nextUncounted = make([]uint64, len(s.Cores))
+	}
+	s.nextUncounted = s.nextUncounted[:len(s.Cores)]
+	for i, c := range s.Cores {
+		if c.Halted() {
+			if err := c.Err(); err != nil {
+				return fmt.Errorf("sim: core %d: %w", i, err)
+			}
+			continue
+		}
+		if c.Stats.Committed >= target[i] {
+			continue
+		}
+		s.nextUncounted[i] = s.clock
+		s.sched.push(int32(i), s.clock)
+	}
 	for {
-		active := false
-		for i, c := range s.Cores {
+		t, ok := s.sched.min()
+		if !ok {
+			return nil // every core finished or halted cleanly
+		}
+		if t > s.clock {
+			// Idle gap (t == NoEvent: the remaining cores are deadlocked
+			// short of a halt — the naive loop would spin to the bound).
+			if t >= limit {
+				s.flushIdle(limit, target)
+				s.clock = limit
+				return s.boundErr(target, instsPerCore, maxCycles)
+			}
+			s.clock = t
+		}
+		now := s.clock
+		due := s.due[:0]
+		for {
+			k, ok := s.sched.min()
+			if !ok || k != now {
+				break
+			}
+			due = append(due, s.sched.popMin())
+		}
+		s.due = due
+		for _, i := range due {
+			if nu := s.nextUncounted[i]; nu < now {
+				s.Cores[i].AddIdleCycles(now - nu)
+			}
+			s.nextUncounted[i] = now + 1
+		}
+		s.tickCores(due, now)
+		s.servicePorts(due)
+		faulted := -1
+		for _, i := range due {
+			c := s.Cores[i]
 			if c.Halted() {
-				if err := c.Err(); err != nil {
-					return fmt.Errorf("sim: core %d: %w", i, err)
+				if c.Err() != nil && faulted < 0 {
+					faulted = int(i)
 				}
 				continue
 			}
 			if c.Stats.Committed >= target[i] {
 				continue
 			}
-			active = true
-			c.Cycle(s.clock)
+			ne := c.NextEvent(now)
+			if ne <= now {
+				ne = now + 1
+			}
+			s.sched.push(i, ne)
 		}
-		if !active {
-			return nil
-		}
-		executed := s.clock
-		s.clock++
+		s.clock = now + 1
 		if s.clock >= limit {
-			return fmt.Errorf("sim: exceeded %d cycles before reaching %d instructions/core",
-				maxCycles, instsPerCore)
+			s.flushIdle(limit, target)
+			return s.boundErr(target, instsPerCore, maxCycles)
 		}
-		// Find the earliest cycle at which any still-running core has work.
-		// A core that halted or met its target this very cycle no longer
-		// ticks in the naive loop either, so it contributes no event and
-		// collects no idle cycles.
-		next := uint64(cpu.NoEvent)
-		running := false
-		for i, c := range s.Cores {
-			if c.Halted() || c.Stats.Committed >= target[i] {
-				continue
-			}
-			running = true
-			if ne := c.NextEvent(executed); ne < next {
-				next = ne
-			}
+		if faulted >= 0 {
+			s.flushIdle(s.clock, target)
+			return fmt.Errorf("sim: core %d: %w", faulted, s.Cores[faulted].Err())
 		}
-		if !running {
-			continue // every core finished this cycle; the loop top returns
+	}
+}
+
+// flushIdle credits every still-running core with the idle cycles it has
+// not yet absorbed, up to (but excluding) cycle upTo: what the naive loop's
+// remaining empty ticks would have counted before the run ended.
+func (s *System) flushIdle(upTo uint64, target []uint64) {
+	for i, c := range s.Cores {
+		if c.Halted() || c.Stats.Committed >= target[i] {
+			continue
 		}
-		if next <= s.clock {
-			continue // work next cycle; nothing to skip
-		}
-		// All remaining cores are idle until next (NoEvent: deadlocked short
-		// of a halt — the naive loop would spin to the bound, so jump there).
-		if next > limit {
-			next = limit
-		}
-		idle := next - s.clock
-		for i, c := range s.Cores {
-			if c.Halted() || c.Stats.Committed >= target[i] {
-				continue
-			}
-			c.AddIdleCycles(idle)
-		}
-		s.clock = next
-		if s.clock >= limit {
-			return fmt.Errorf("sim: exceeded %d cycles before reaching %d instructions/core",
-				maxCycles, instsPerCore)
+		if nu := s.nextUncounted[i]; nu < upTo {
+			c.AddIdleCycles(upTo - nu)
+			s.nextUncounted[i] = upTo
 		}
 	}
 }
@@ -439,16 +606,16 @@ func (s *System) runEvent(target []uint64, limit, instsPerCore, maxCycles uint64
 func (s *System) ResetStats() {
 	for _, c := range s.Cores {
 		c.Stats = cpu.Stats{}
-		c.Hierarchy().L1D.Stats = cache.Stats{}
-		c.Hierarchy().L2.Stats = cache.Stats{}
+		c.Hierarchy().L1D.ResetStats()
+		c.Hierarchy().L2.ResetStats()
 		bp := c.Predictor()
 		bp.Lookups, bp.Mispredicts = 0, 0
 	}
 	for _, pf := range s.PFs {
 		pf.ResetStats()
 	}
-	s.LLC.Stats = cache.Stats{}
-	*s.DRAM = cache.DRAM{Latency: s.DRAM.Latency, CyclesPerFill: s.DRAM.CyclesPerFill}
+	s.LLC.ResetStats()
+	s.DRAM.ResetStats()
 	s.Reg.Reset()
 	if s.tr != nil {
 		s.tr.Reset()
@@ -517,6 +684,11 @@ type RunOpts struct {
 	CyclesPerInst uint64
 	// Loop selects the clock-advance strategy (LoopAuto → DefaultLoop).
 	Loop LoopMode
+	// CoreWorkers > 1 steps each cycle's cores on a worker pool
+	// (bulk-synchronous parallel mode); results are byte-identical at any
+	// value, so it is purely a wall-clock knob — and is therefore excluded
+	// from the runner's result-cache fingerprint.
+	CoreWorkers int
 }
 
 // DefaultRunOpts is the measurement protocol used by the experiments, a
@@ -609,6 +781,7 @@ func RunCheckpointed(cfg Config, cps []*ckpt.Checkpoint, opts RunOpts) (Result, 
 // measured window on an assembled system.
 func runProtocol(s *System, opts RunOpts) (Result, error) {
 	s.Loop = opts.Loop
+	s.CoreWorkers = opts.CoreWorkers
 	cpi := opts.CyclesPerInst
 	if cpi == 0 {
 		cpi = 1000

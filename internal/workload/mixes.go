@@ -73,13 +73,17 @@ func FOAProfiles(profileInsts uint64) (map[string]float64, error) {
 
 // SelectMixes returns the `count` n-application mixes with the highest
 // combined FOA, enumerated deterministically. Following the paper, 29 mixes
-// each of 2 and 4 applications.
+// each of 2 and 4 applications. For n beyond the workload suite size
+// (scale-out 64-core mixes), applications repeat: see wideMixes.
 func SelectMixes(n, count int, foa map[string]float64) []Mix {
 	names := make([]string, 0, len(foa))
 	for name := range foa {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	if n > len(names) {
+		return wideMixes(n, count, names, foa)
+	}
 
 	var mixes []Mix
 	var combo func(start int, cur []string, score float64)
@@ -109,6 +113,37 @@ func SelectMixes(n, count int, foa map[string]float64) []Mix {
 	mixes = mixes[:count]
 	for i := range mixes {
 		mixes[i].Name = fmt.Sprintf("mix%d", i+1)
+	}
+	return mixes
+}
+
+// wideMixes builds n-application mixes when n exceeds the workload suite:
+// applications are ranked by FOA (descending, names ascending on ties) and
+// tiled round-robin, with mix k starting the tiling k positions into the
+// ranking. Every application therefore appears ~n/len(names) times per mix,
+// mixes differ in their per-core placement, and the highest-contention
+// (lowest-k) mixes lead — a deterministic scale-out analogue of the paper's
+// pick-the-most-contended-combinations rule.
+func wideMixes(n, count int, names []string, foa map[string]float64) []Mix {
+	ranked := append([]string(nil), names...)
+	sort.Slice(ranked, func(i, j int) bool {
+		if foa[ranked[i]] != foa[ranked[j]] {
+			return foa[ranked[i]] > foa[ranked[j]]
+		}
+		return ranked[i] < ranked[j]
+	})
+	if count > len(ranked) {
+		count = len(ranked)
+	}
+	mixes := make([]Mix, 0, count)
+	for k := 0; k < count; k++ {
+		apps := make([]string, n)
+		score := 0.0
+		for c := 0; c < n; c++ {
+			apps[c] = ranked[(k+c)%len(ranked)]
+			score += foa[apps[c]]
+		}
+		mixes = append(mixes, Mix{Name: fmt.Sprintf("mix%d", k+1), Apps: apps, Score: score})
 	}
 	return mixes
 }
