@@ -2,12 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint verify verify-full verify-race race bench bench-smoke bench-scale bench-json obs-smoke clean
+.PHONY: all build test vet lint verify verify-full verify-race race bench bench-smoke bench-scale bench-json obs-smoke store-smoke clean
 
 # Packages exercising concurrency: the parallel experiment engine, the
-# copy-on-write memory forks, and shared-checkpoint restores.
+# copy-on-write memory forks, shared-checkpoint restores, and the durable
+# store shared across workers.
 RACE_PKGS = ./internal/runner ./internal/harness ./internal/workload \
-	./internal/mem ./internal/ckpt
+	./internal/mem ./internal/ckpt ./internal/store
 
 # BSP core-parallel stepping under the race detector: worker counts > 1 on a
 # multi-core mix, plus the bound-error path. The full sim suite is too slow
@@ -79,13 +80,24 @@ bench-scale:
 # Refresh the machine-readable simulation-throughput record. Four workers is
 # the recorded-baseline setting: parallel enough to exercise the caches,
 # small enough that per-experiment wall times stay comparable across hosts.
+# The store directory is wiped first so the recorded rows are always a cold
+# run (store_state "cold") — a warm store would turn the throughput numbers
+# into disk-read numbers. The populated store is left behind for reuse.
 bench-json:
-	$(GO) run ./cmd/bfetch-bench -exp all -q -benchjson BENCH_sim.json -j 4
+	rm -rf results/store
+	$(GO) run ./cmd/bfetch-bench -exp all -q -benchjson BENCH_sim.json -j 4 \
+		-store results/store
 
 # Observability smoke test: tiny batch with the live -http endpoint up,
 # scrape it, and validate every obs JSON document against its schema.
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# Durable-store smoke test: one experiment run twice against a shared -store
+# directory (second run: zero sims, 100% store hits, byte-identical CSVs),
+# plus a -j 1 / -j 8 leg sharing one store.
+store-smoke:
+	./scripts/store_smoke.sh
 
 clean:
 	rm -rf results

@@ -8,6 +8,7 @@
 //	bfetch-bench -exp fig9 -warmup 100000 -measure 300000 -mixes 29
 //	bfetch-bench -exp all -j 8            # 8 simulations in flight
 //	bfetch-bench -exp fig8 -seq           # sequential escape hatch
+//	bfetch-bench -exp all -store results/store   # durable artifact cache
 //	bfetch-bench -exp all -cpuprofile cpu.pprof
 //
 // Each experiment prints its table(s) to stdout; with -out set, CSVs are
@@ -34,6 +35,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 func main() {
@@ -60,6 +62,7 @@ func run() error {
 		emuloop    = flag.String("emuloop", "auto", "functional-emulation engine: auto, compiled, or interp (escape hatch)")
 		simpar     = flag.Int("simpar", 0, "core workers per simulation (bulk-synchronous parallel stepping; 0/1 = serial, results byte-identical)")
 		scaleCores = flag.String("scalecores", "", "comma-separated core counts for the scale experiment (default 2,4,8,16,64)")
+		storeDir   = flag.String("store", "", "durable artifact store directory: results and checkpoints are read from disk before computing, and written back after (shared across invocations and -j settings)")
 		benchJSON  = flag.String("benchjson", "", "write per-experiment simulation throughput to this JSON file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -107,6 +110,15 @@ func run() error {
 	if *obsJSON != "" || *httpAddr != "" {
 		eng.SetRunReports(true)
 	}
+	var dstore *store.Store
+	if *storeDir != "" {
+		dstore, err = store.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		eng.SetStore(dstore)
+		fmt.Fprintf(os.Stderr, "store: %s (result schema %s)\n", dstore.Dir(), store.ResultSchemaHash())
+	}
 
 	var curExp atomic.Value // string: experiment the batch loop is inside
 	curExp.Store("")
@@ -128,6 +140,12 @@ func run() error {
 				}
 				if s.UptimeSeconds > 0 {
 					s.KCyclesPerSec = float64(s.SimCycles) / 1e3 / s.UptimeSeconds
+				}
+				if dstore != nil {
+					m := dstore.Metrics()
+					s.StoreHits, s.StoreMisses = m.Hits, m.Misses
+					s.StoreBytesRead = m.BytesRead
+					s.StoreReadSeconds = m.ReadTime.Seconds()
 				}
 				return s
 			},
@@ -180,6 +198,7 @@ func run() error {
 	bench.EmuLoop = exec.String()
 	bench.CoreWorkers = *simpar
 	bench.Workers = eng.Workers()
+	bench.Store = *storeDir
 	for _, e := range todo {
 		start := time.Now()
 		curExp.Store(e.ID)
@@ -190,10 +209,16 @@ func run() error {
 		}
 		wall := time.Since(start)
 		st := eng.Stats()
-		fmt.Fprintf(os.Stderr, "%s finished in %s (%d sims run, cache: %d hits, %d misses; ckpt: %d hits, %d misses)\n",
+		line := fmt.Sprintf("%s finished in %s (%d sims run, cache: %d hits, %d misses; ckpt: %d hits, %d misses)",
 			e.ID, wall.Round(time.Millisecond),
 			st.Runs-prev.Runs, st.Hits-prev.Hits, st.Misses-prev.Misses,
 			st.CkptHits-prev.CkptHits, st.CkptMisses-prev.CkptMisses)
+		if dstore != nil {
+			line += fmt.Sprintf("; store: %d hits, %d misses",
+				(st.StoreHits+st.StoreCkptHits)-(prev.StoreHits+prev.StoreCkptHits),
+				(st.StoreMisses+st.StoreCkptMisses)-(prev.StoreMisses+prev.StoreCkptMisses))
+		}
+		fmt.Fprintln(os.Stderr, line)
 		bench.add(e.ID, wall, prev, st)
 		prev = st
 		for i, t := range tables {
@@ -214,12 +239,22 @@ func run() error {
 			}
 		}
 	}
-	if st := eng.Stats(); st.Hits > 0 || len(todo) > 1 {
-		fmt.Fprintf(os.Stderr, "total: %d sims run, cache: %d hits, %d misses; ckpt: %d hits, %d misses; %d insts emulated\n",
+	if st := eng.Stats(); st.Hits > 0 || len(todo) > 1 || dstore != nil {
+		line := fmt.Sprintf("total: %d sims run, cache: %d hits, %d misses; ckpt: %d hits, %d misses; %d insts emulated",
 			st.Runs, st.Hits, st.Misses, st.CkptHits, st.CkptMisses, st.EmuInsts)
+		if dstore != nil {
+			m := dstore.Metrics()
+			line += fmt.Sprintf("; store: %d hits, %d misses, %d KB read in %s",
+				m.Hits, m.Misses, m.BytesRead/1024, m.ReadTime.Round(time.Millisecond))
+		}
+		fmt.Fprintln(os.Stderr, line)
 	}
 	curExp.Store("")
 	if *benchJSON != "" {
+		if dstore != nil {
+			m := dstore.Metrics()
+			bench.storeMetrics = &m
+		}
 		if err := bench.write(*benchJSON, eng.Stats()); err != nil {
 			return err
 		}
@@ -270,11 +305,18 @@ type benchReport struct {
 	// in throughput (fig3 drives the interpreter-observed path, fig7 the
 	// compiled one), so without this provenance a settings change reads as
 	// a performance regression.
-	EmuLoop     string      `json:"emu_loop"`
-	CoreWorkers int         `json:"core_workers"`
-	Workers     int         `json:"workers"`
+	EmuLoop     string `json:"emu_loop"`
+	CoreWorkers int    `json:"core_workers"`
+	Workers     int    `json:"workers"`
+	// Store records the durable artifact store directory, empty when the run
+	// computed everything in-process. wall_seconds under a warm store measure
+	// disk reads, not simulation — the per-row store_state says which regime
+	// each row's numbers come from, so regenerations are comparable.
+	Store       string      `json:"store,omitempty"`
 	Experiments []benchExp  `json:"experiments"`
 	Total       *benchTotal `json:"total,omitempty"`
+
+	storeMetrics *store.Metrics // final store counters, nil when -store unset
 }
 
 // benchExp reports one experiment's simulation throughput: cycles and
@@ -303,6 +345,15 @@ type benchExp struct {
 	KCyclesPerSec  float64 `json:"sim_kcycles_per_sec"`
 	InstsPerSec    float64 `json:"committed_insts_per_sec"`
 	EmuInstsPerSec float64 `json:"emu_insts_per_sec,omitempty"`
+	// Durable-store traffic (result + checkpoint lookups) and the regime it
+	// implies: "cold" rows computed and wrote back, "warm" rows were answered
+	// entirely from disk (their wall_seconds measure I/O, not simulation),
+	// "mixed" saw both, "idle" ran with a store but never consulted it
+	// (analytic rows, or points absorbed by the memory tier). Absent when the
+	// run had no store.
+	StoreHits   uint64 `json:"store_hits,omitempty"`
+	StoreMisses uint64 `json:"store_misses,omitempty"`
+	StoreState  string `json:"store_state,omitempty"`
 	// Analytic marks experiments that derive their tables from configuration
 	// arithmetic alone (storage tables): no simulation, no emulation.
 	Analytic bool `json:"analytic,omitempty"`
@@ -319,6 +370,13 @@ type benchTotal struct {
 	KCyclesPerSec  float64 `json:"sim_kcycles_per_sec"`
 	InstsPerSec    float64 `json:"committed_insts_per_sec"`
 	EmuInstsPerSec float64 `json:"emu_insts_per_sec"`
+	// Whole-run store traffic from the store's own counters (both artifact
+	// kinds), absent when -store was unset.
+	StoreHits        uint64  `json:"store_hits,omitempty"`
+	StoreMisses      uint64  `json:"store_misses,omitempty"`
+	StoreBytesRead   uint64  `json:"store_bytes_read,omitempty"`
+	StoreReadSeconds float64 `json:"store_read_seconds,omitempty"`
+	StoreState       string  `json:"store_state,omitempty"`
 }
 
 func (b *benchReport) add(id string, wall time.Duration, prev, st runner.Stats) {
@@ -344,8 +402,28 @@ func (b *benchReport) add(id string, wall time.Duration, prev, st runner.Stats) 
 		exp.InstsPerSec = float64(insts) / sec
 		exp.EmuInstsPerSec = float64(exp.EmuInsts) / sec
 	}
-	exp.Analytic = exp.Sims == 0 && exp.CacheHits == 0 && exp.EmuInsts == 0
+	if b.Store != "" {
+		exp.StoreHits = (st.StoreHits + st.StoreCkptHits) - (prev.StoreHits + prev.StoreCkptHits)
+		exp.StoreMisses = (st.StoreMisses + st.StoreCkptMisses) - (prev.StoreMisses + prev.StoreCkptMisses)
+		exp.StoreState = storeState(exp.StoreHits, exp.StoreMisses)
+	}
+	exp.Analytic = exp.Sims == 0 && exp.CacheHits == 0 && exp.EmuInsts == 0 && exp.StoreHits == 0
 	b.Experiments = append(b.Experiments, exp)
+}
+
+// storeState classifies a hit/miss delta into the provenance label the
+// report rows carry.
+func storeState(hits, misses uint64) string {
+	switch {
+	case hits == 0 && misses == 0:
+		return "idle"
+	case misses == 0:
+		return "warm"
+	case hits == 0:
+		return "cold"
+	default:
+		return "mixed"
+	}
 }
 
 func (b *benchReport) write(path string, st runner.Stats) error {
@@ -364,6 +442,12 @@ func (b *benchReport) write(path string, st runner.Stats) error {
 		total.KCyclesPerSec = float64(st.SimCycles) / 1e3 / wall
 		total.InstsPerSec = float64(st.SimInsts) / wall
 		total.EmuInstsPerSec = float64(st.EmuInsts) / wall
+	}
+	if m := b.storeMetrics; m != nil {
+		total.StoreHits, total.StoreMisses = m.Hits, m.Misses
+		total.StoreBytesRead = m.BytesRead
+		total.StoreReadSeconds = m.ReadTime.Seconds()
+		total.StoreState = storeState(m.Hits, m.Misses)
 	}
 	b.Total = &total
 	data, err := json.MarshalIndent(b, "", "  ")

@@ -8,6 +8,7 @@
 //	bfetch-sim -workloads mcf -obs report.json           # observability report
 //	bfetch-sim -workloads mcf -obs - -obstrace pf.trace  # + sampled event trace
 //	bfetch-sim -validate-obs report.json                 # schema-check any obs JSON
+//	bfetch-sim -workloads mcf -store results/store       # reuse/populate the artifact store
 //	bfetch-sim -list
 package main
 
@@ -21,24 +22,27 @@ import (
 
 	"repro/internal/emu"
 	"repro/internal/obs"
+	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		apps    = flag.String("workloads", "mcf", "comma-separated workloads, one per core")
-		pf      = flag.String("pf", "bfetch", "prefetcher: none|stride|sms|bfetch|perfect|nextn")
-		width   = flag.Int("width", 4, "pipeline width")
-		ff      = flag.Uint64("ff", 0, "fast-forward instructions per core, emulated functionally before the cycle core boots")
-		warmup  = flag.Uint64("warmup", 100_000, "warmup instructions per core")
-		measure = flag.Uint64("measure", 300_000, "measured instructions per core")
-		conf    = flag.Float64("conf", 0.75, "B-Fetch path confidence threshold")
-		simloop = flag.String("simloop", "auto", "clock strategy: auto, event, or naive (escape hatch)")
-		emuloop = flag.String("emuloop", "auto", "functional-emulation engine: auto, compiled, or interp (escape hatch)")
-		simpar  = flag.Int("simpar", 0, "core workers (bulk-synchronous parallel stepping; 0/1 = serial, results byte-identical)")
-		scale   = flag.Bool("scale", false, "use the scale-out memory system (banked LLC, channeled DRAM) sized for the core count")
-		list    = flag.Bool("list", false, "list workloads and exit")
+		apps     = flag.String("workloads", "mcf", "comma-separated workloads, one per core")
+		pf       = flag.String("pf", "bfetch", "prefetcher: none|stride|sms|bfetch|perfect|nextn")
+		width    = flag.Int("width", 4, "pipeline width")
+		ff       = flag.Uint64("ff", 0, "fast-forward instructions per core, emulated functionally before the cycle core boots")
+		warmup   = flag.Uint64("warmup", 100_000, "warmup instructions per core")
+		measure  = flag.Uint64("measure", 300_000, "measured instructions per core")
+		conf     = flag.Float64("conf", 0.75, "B-Fetch path confidence threshold")
+		simloop  = flag.String("simloop", "auto", "clock strategy: auto, event, or naive (escape hatch)")
+		emuloop  = flag.String("emuloop", "auto", "functional-emulation engine: auto, compiled, or interp (escape hatch)")
+		simpar   = flag.Int("simpar", 0, "core workers (bulk-synchronous parallel stepping; 0/1 = serial, results byte-identical)")
+		scale    = flag.Bool("scale", false, "use the scale-out memory system (banked LLC, channeled DRAM) sized for the core count")
+		storeDir = flag.String("store", "", "durable artifact store directory: answer this run from disk if cached there, write it back otherwise (ignored when tracing)")
+		list     = flag.Bool("list", false, "list workloads and exit")
 
 		obsOut     = flag.String("obs", "", "write this run's observability report (bfetch-obs-run/v1 JSON) to this file, '-' for stdout")
 		obsTrace   = flag.String("obstrace", "", "dump the sampled prefetch lifecycle trace (binary internal/trace encoding) to this file")
@@ -103,11 +107,36 @@ func main() {
 		FastForwardInsts: *ff, WarmupInsts: *warmup, MeasureInsts: *measure, Loop: loop,
 		CoreWorkers: *simpar,
 	}
+	var res sim.Result
 	start := time.Now()
-	res, err := sim.RunTraced(cfg, names, opts, tr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bfetch-sim:", err)
-		os.Exit(1)
+	if *storeDir != "" && tr == nil {
+		// Route through the runner so the durable store's two-tier lookup
+		// applies: a repeated invocation is answered from disk.
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfetch-sim:", err)
+			os.Exit(1)
+		}
+		eng := runner.NewSequential()
+		eng.SetStore(st)
+		res, err = eng.Run(runner.Multi(cfg, names, opts))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfetch-sim:", err)
+			os.Exit(1)
+		}
+		if m := st.Metrics(); m.Hits > 0 {
+			fmt.Fprintf(os.Stderr, "store: answered from %s (no simulation run)\n", *storeDir)
+		}
+	} else {
+		if *storeDir != "" {
+			fmt.Fprintln(os.Stderr, "store: -obstrace requested, bypassing the store (traces record live execution)")
+		}
+		var err error
+		res, err = sim.RunTraced(cfg, names, opts, tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfetch-sim:", err)
+			os.Exit(1)
+		}
 	}
 	wall := time.Since(start)
 

@@ -76,6 +76,44 @@ func ByName(name string, ffInsts uint64) (*Checkpoint, error) {
 	return New(w, ffInsts)
 }
 
+// FromParts reconstructs a checkpoint from externally stored state: the
+// workload name (whose program is rebuilt — workload builds are
+// deterministic, so the rebuilt program is the one the state was captured
+// against), the requested fast-forward length, the captured architectural
+// state, and the memory image. The image is frozen here, so the caller must
+// hand over ownership; it must not mutate it afterwards.
+//
+// FromParts trusts its inputs only as far as cheap validation can carry:
+// the workload must exist and the PC must be a valid resume point for the
+// rebuilt program. Content integrity (the image and Arch actually being
+// the prefix's output) is the storage layer's job — internal/store keys
+// checkpoint entries by the workload's built content, so a changed workload
+// generator can never pair stale state with a fresh program.
+func FromParts(name string, ffInsts uint64, arch emu.Arch, image *mem.Memory) (*Checkpoint, error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	prog, _ := w.Build()
+	if arch.PC < 0 || arch.PC > len(prog.Insts) {
+		return nil, fmt.Errorf("ckpt: restored PC %d out of range for %s (%d insts)",
+			arch.PC, name, len(prog.Insts))
+	}
+	image.Freeze()
+	return &Checkpoint{
+		Workload: name,
+		FFInsts:  ffInsts,
+		Arch:     arch,
+		prog:     prog,
+		image:    image,
+	}, nil
+}
+
+// Image returns the checkpoint's frozen memory image. It is shared state —
+// callers may read or Fork it but must not write through it directly; the
+// serialization path (internal/store) exports its pages.
+func (c *Checkpoint) Image() *mem.Memory { return c.image }
+
 // Restore returns what a core needs to resume from the checkpoint: the
 // program (shared — it is read-only), a copy-on-write fork of the memory
 // image, and the architectural state. Each call returns an independent

@@ -68,7 +68,7 @@ type Options struct {
 func DefaultOptions() Options {
 	return Options{DeterminismPkgs: []string{
 		"internal/sim", "internal/harness", "internal/runner", "internal/workload",
-		"internal/obs",
+		"internal/obs", "internal/store",
 	}}
 }
 

@@ -89,6 +89,13 @@ func TestDeterminismGolden(t *testing.T) {
 	checkGolden(t, "determinism", Determinism)
 }
 
+// TestStoreDeterminismGolden covers the store-shaped hazards the durable
+// cache introduced: timing disk reads (must be annotated as stats-only) and
+// publishing directory/index listings in map order.
+func TestStoreDeterminismGolden(t *testing.T) {
+	checkGolden(t, "storedet", Determinism)
+}
+
 func TestStatsResetGolden(t *testing.T) {
 	checkGolden(t, "statsreset", func(p *Package, _ *moduleIndex) []Diagnostic {
 		return StatsReset(p)

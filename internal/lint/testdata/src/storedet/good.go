@@ -1,0 +1,26 @@
+package storedet
+
+import (
+	"sort"
+	"time"
+)
+
+// goodReadTiming is the sanctioned shape internal/store uses: the clock read
+// is annotated because it only feeds a read-latency metric, never a key,
+// payload, or simulated quantity.
+func goodReadTiming(read func() []byte) ([]byte, time.Duration) {
+	start := time.Now() //bfetch:wallclock read-latency metric, reported only
+	data := read()
+	return data, time.Since(start) //bfetch:wallclock
+}
+
+// goodScanEntries collects then sorts, so the published listing is
+// independent of map iteration order.
+func goodScanEntries(index map[string][]byte) []string {
+	var keys []string
+	for k := range index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,55 @@
+package mem
+
+import "sort"
+
+// PageWords is the number of 64-bit words in one page.
+const PageWords = PageBytes / 8
+
+// PageImage is one page's externalized contents, the currency of checkpoint
+// serialization (internal/store). Words holds the page as aligned 64-bit
+// little-endian words, the same layout the Memory stores internally.
+type PageImage struct {
+	PN    uint64 // page number (byte address / PageBytes)
+	Words [PageWords]uint64
+}
+
+// ExportPages returns a deep copy of the address space's visible contents as
+// page images sorted by page number. All-zero pages are omitted: untouched
+// memory reads as zero, so dropping them loses nothing (Equal treats absent
+// and zero-filled pages alike) and keeps the export canonical — two
+// architecturally equal address spaces export identical slices regardless of
+// which zero pages each happened to materialize.
+func (m *Memory) ExportPages() []PageImage {
+	var zero page
+	pns := make([]uint64, 0, len(m.pages)+len(m.ro))
+	for pn, p := range m.pages {
+		if *p != zero {
+			pns = append(pns, pn)
+		}
+	}
+	for pn, p := range m.ro {
+		if _, shadowed := m.pages[pn]; !shadowed && *p != zero {
+			pns = append(pns, pn)
+		}
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	out := make([]PageImage, len(pns))
+	for i, pn := range pns {
+		out[i].PN = pn
+		out[i].Words = *m.lookup(pn)
+	}
+	return out
+}
+
+// FromPages reconstructs an address space from exported page images. The
+// result is an independent private copy — mutating it cannot affect the
+// source of the images. Page order does not matter; duplicate page numbers
+// keep the last occurrence.
+func FromPages(pages []PageImage) *Memory {
+	m := New()
+	for i := range pages {
+		p := page(pages[i].Words)
+		m.pages[pages[i].PN] = &p
+	}
+	return m
+}

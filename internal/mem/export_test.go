@@ -1,0 +1,71 @@
+package mem
+
+import "testing"
+
+// TestExportImportRoundTrip pins the serialization substrate of durable
+// checkpoints: export → import must reproduce the address space exactly,
+// including contents that live in a frozen base under private overlays.
+func TestExportImportRoundTrip(t *testing.T) {
+	m := New()
+	m.Write64(0x1000_0000, 0xdeadbeef)
+	m.Write64(0x1000_0008, 42)
+	m.Write8(0x2000_0003, 0x7f)
+	m.Freeze()
+	m.Write64(0x1000_0000, 0xfeedface) // private page shadowing frozen base
+	m.Write64(0x3000_0000, 7)
+
+	back := FromPages(m.ExportPages())
+	if !Equal(m, back) {
+		t.Fatal("export/import round trip lost contents")
+	}
+	if got := back.Read64(0x1000_0000); got != 0xfeedface {
+		t.Errorf("shadowed page: got %#x, want 0xfeedface", got)
+	}
+	if got := back.Read8(0x2000_0003); got != 0x7f {
+		t.Errorf("byte write: got %#x", got)
+	}
+
+	// The import is independent: writes to it must not reach the source.
+	back.Write64(0x3000_0000, 99)
+	if m.Read64(0x3000_0000) != 7 {
+		t.Error("import aliases the exporter's pages")
+	}
+}
+
+// TestExportCanonical pins the canonical-form property the checkpoint
+// content fingerprint relies on: zero pages do not appear, page order is
+// sorted, and two architecturally equal spaces that materialized different
+// zero pages export identically.
+func TestExportCanonical(t *testing.T) {
+	a := New()
+	a.Write64(0x2000, 5)
+	a.Write64(0x1000, 3)
+	a.Write64(0x9000, 0) // touched but all-zero: must not export
+
+	b := New()
+	b.Write64(0x1000, 3)
+	b.Write64(0x2000, 5)
+
+	pa, pb := a.ExportPages(), b.ExportPages()
+	if len(pa) != 2 || len(pb) != 2 {
+		t.Fatalf("exports have %d and %d pages, want 2 and 2 (zero pages must be dropped)", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("page %d differs between equal address spaces", i)
+		}
+	}
+	if pa[0].PN >= pa[1].PN {
+		t.Error("pages not sorted by page number")
+	}
+}
+
+// TestExportEmpty covers the degenerate cases.
+func TestExportEmpty(t *testing.T) {
+	if pages := New().ExportPages(); len(pages) != 0 {
+		t.Errorf("empty space exported %d pages", len(pages))
+	}
+	if m := FromPages(nil); m.Read64(0) != 0 {
+		t.Error("import of no pages is not an empty space")
+	}
+}

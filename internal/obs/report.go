@@ -85,6 +85,14 @@ type Status struct {
 	CkptHits    uint64  `json:"ckpt_hits"`
 	CkptMisses  uint64  `json:"ckpt_misses"`
 
+	// Durable-store tier (internal/store), present when the batch runs
+	// with -store: disk lookups across both artifact kinds, payload bytes
+	// validated in, and wall time spent inside store reads.
+	StoreHits        uint64  `json:"store_hits,omitempty"`
+	StoreMisses      uint64  `json:"store_misses,omitempty"`
+	StoreBytesRead   uint64  `json:"store_bytes_read,omitempty"`
+	StoreReadSeconds float64 `json:"store_read_seconds,omitempty"`
+
 	SimCycles     uint64  `json:"sim_cycles"`
 	SimInsts      uint64  `json:"sim_insts"`
 	KCyclesPerSec float64 `json:"sim_kcycles_per_sec"`

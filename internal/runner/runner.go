@@ -31,6 +31,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Job is one simulation point: a system configuration running the named
@@ -69,6 +70,17 @@ type Stats struct {
 	CkptHits   uint64
 	CkptMisses uint64
 
+	// Durable-store accounting (zero unless a store is attached with
+	// SetStore). A store hit replaces a simulation (StoreHits) or a
+	// checkpoint emulation (StoreCkptHits) with a disk read; it counts
+	// here and in neither the in-memory hit nor miss columns (it was not
+	// in memory, and nothing was computed). Misses are disk-tier lookups
+	// that fell through to compute — the computed artifact is written back.
+	StoreHits       uint64
+	StoreMisses     uint64
+	StoreCkptHits   uint64
+	StoreCkptMisses uint64
+
 	// Simulation throughput accounting, summed over executed runs (cache
 	// hits contribute nothing — no simulation happened). Cycles and
 	// instructions cover the measured window of every core.
@@ -91,6 +103,7 @@ type Engine struct {
 	workers int
 	seq     bool
 	noCache bool
+	store   *store.Store // durable second tier; nil = memory-only
 
 	logMu sync.Mutex
 	log   io.Writer
@@ -103,6 +116,8 @@ type Engine struct {
 
 	hits, misses, runs  atomic.Uint64
 	ckHits, ckMisses    atomic.Uint64
+	stHits, stMisses    atomic.Uint64
+	stCkHits, stCkMiss  atomic.Uint64
 	simCycles, simInsts atomic.Uint64
 	emuInsts            atomic.Uint64
 	simNanos            atomic.Int64
@@ -174,6 +189,18 @@ func (e *Engine) SetCache(on bool) {
 	e.noCache = !on
 }
 
+// SetStore attaches a durable on-disk store (internal/store) as the second
+// tier of the lookup: memory singleflight → disk store → compute, with
+// computed results and checkpoints written back. Attach before submitting
+// jobs; a nil store detaches. Store failures (unreadable entries, write
+// errors) are logged and absorbed — the disk tier can only make runs
+// cheaper, never wronger, because entries are keyed by the same fingerprint
+// that guarantees byte-identical results and validated end-to-end on read.
+func (e *Engine) SetStore(s *store.Store) { e.store = s }
+
+// Store returns the attached durable store, or nil.
+func (e *Engine) Store() *store.Store { return e.store }
+
 // SetRunReports enables collection of one obs.RunReport per executed
 // simulation (cache hits re-simulate nothing and contribute none). Off by
 // default — reports retain full metrics snapshots.
@@ -215,6 +242,8 @@ func (e *Engine) Stats() Stats {
 	return Stats{
 		Hits: e.hits.Load(), Misses: e.misses.Load(), Runs: e.runs.Load(),
 		CkptHits: e.ckHits.Load(), CkptMisses: e.ckMisses.Load(),
+		StoreHits: e.stHits.Load(), StoreMisses: e.stMisses.Load(),
+		StoreCkptHits: e.stCkHits.Load(), StoreCkptMisses: e.stCkMiss.Load(),
 		SimCycles: e.simCycles.Load(), SimInsts: e.simInsts.Load(),
 		SimTime:  time.Duration(e.simNanos.Load()),
 		EmuInsts: e.emuInsts.Load(),
@@ -260,10 +289,20 @@ func (e *Engine) logBatch(jobs int, before, after Stats) {
 	if hits+misses > 0 {
 		rate = 100 * float64(hits) / float64(hits+misses)
 	}
-	bypassed := uint64(jobs) - hits - misses
-	e.logf("runner: batch of %d done: run-cache %d hits / %d misses (%.0f%% hit rate), %d bypassed; ckpt %d hits / %d misses",
+	stHits := after.StoreHits - before.StoreHits
+	stMisses := after.StoreMisses - before.StoreMisses
+	bypassed := uint64(jobs) - hits - misses - stHits
+	line := fmt.Sprintf("runner: batch of %d done: run-cache %d hits / %d misses (%.0f%% hit rate), %d bypassed; ckpt %d hits / %d misses",
 		jobs, hits, misses, rate, bypassed,
 		after.CkptHits-before.CkptHits, after.CkptMisses-before.CkptMisses)
+	if e.store != nil {
+		m := e.store.Metrics()
+		line += fmt.Sprintf("; store %d hits / %d misses (+ckpt %d/%d; %d KB read in %s)",
+			stHits, stMisses,
+			after.StoreCkptHits-before.StoreCkptHits, after.StoreCkptMisses-before.StoreCkptMisses,
+			m.BytesRead>>10, m.ReadTime.Round(time.Millisecond))
+	}
+	e.logf("%s", line)
 }
 
 // Map runs fn(0..n-1) across the pool and returns the lowest-index error.
@@ -331,10 +370,29 @@ func (e *Engine) runJob(j Job) Outcome {
 		ent = &entry{done: make(chan struct{})}
 		e.entries[key] = ent
 		e.mu.Unlock()
+		// Second tier: the durable store. A validated entry carries the
+		// byte-identical result this job would compute (same fingerprint,
+		// same schema), so it answers the job and seeds the memory tier
+		// without simulating anything.
+		if e.store != nil {
+			if res, ok := e.store.GetResult(key); ok {
+				ent.res = res
+				close(ent.done)
+				e.stHits.Add(1)
+				e.logf("runner: %-8s %v from store", j.Cfg.Prefetcher, j.Apps)
+				return Outcome{Result: res}
+			}
+			e.stMisses.Add(1)
+		}
 		o := e.execute(j)
 		ent.res, ent.err = o.Result, o.Err
 		close(ent.done)
 		e.misses.Add(1)
+		if e.store != nil && o.Err == nil {
+			if err := e.store.PutResult(key, o.Result); err != nil {
+				e.logf("runner: store write-back failed (continuing): %v", err)
+			}
+		}
 		return o
 	}
 	e.mu.Unlock()
@@ -426,10 +484,34 @@ func (e *Engine) checkpoint(name string, ff uint64) (*ckpt.Checkpoint, error) {
 		ent = &ckptEntry{done: make(chan struct{})}
 		e.ckEntries[key] = ent
 		e.ckMu.Unlock()
+		// Second tier: a durable checkpoint replaces the whole prefix
+		// emulation with one disk read. The key is content-addressed over
+		// the workload's built program and initial image, so a changed
+		// kernel generator can never resurrect stale state.
+		var storeKey string
+		if e.store != nil {
+			if k, err := store.CheckpointKey(name, ff); err == nil {
+				storeKey = k
+				if cp, ok := e.store.GetCheckpoint(storeKey, name, ff); ok {
+					ent.cp = cp
+					close(ent.done)
+					e.stCkHits.Add(1)
+					e.logf("runner: checkpoint %-12s ff=%d from store (%d KB image)",
+						name, ff, cp.FootprintBytes()>>10)
+					return ent.cp, nil
+				}
+				e.stCkMiss.Add(1)
+			}
+		}
 		start := time.Now() //bfetch:wallclock checkpoint-build timing, logged only
 		ent.cp, ent.err = ckpt.ByName(name, ff)
 		close(ent.done)
 		e.ckMisses.Add(1)
+		if e.store != nil && storeKey != "" && ent.err == nil {
+			if err := e.store.PutCheckpoint(storeKey, ent.cp); err != nil {
+				e.logf("runner: checkpoint store write-back failed (continuing): %v", err)
+			}
+		}
 		if ent.cp != nil {
 			e.emuInsts.Add(ent.cp.Arch.Retired)
 			e.logf("runner: checkpoint %-12s ff=%d built in %s (%d KB image)",

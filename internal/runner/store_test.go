@@ -1,0 +1,187 @@
+package runner
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// storeOpts is tinyOpts plus a fast-forward, so the checkpoint tier is
+// exercised alongside the result tier.
+func storeOpts() sim.RunOpts {
+	o := tinyOpts()
+	o.FastForwardInsts = 5_000
+	return o
+}
+
+func storeJobs() []Job {
+	opts := storeOpts()
+	return []Job{
+		Solo(sim.Default(sim.PFNone), "mcf", opts),
+		Solo(sim.Default(sim.PFBFetch), "mcf", opts),
+		Solo(sim.Default(sim.PFStride), "libquantum", opts),
+		Solo(sim.Default(sim.PFNone), "mcf", opts), // duplicate: memory-tier hit
+	}
+}
+
+// sameObservable compares the parts of a Result that feed tables and
+// reports. The full struct includes unexported DRAM scheduling state that
+// deliberately does not survive serialization.
+func sameObservable(t *testing.T, tag string, a, b sim.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(a.IPC, b.IPC) || !reflect.DeepEqual(a.Core, b.Core) ||
+		!reflect.DeepEqual(a.L1D, b.L1D) || a.LLC != b.LLC || a.Cycles != b.Cycles ||
+		!reflect.DeepEqual(a.Lifecycle, b.Lifecycle) || !reflect.DeepEqual(a.Metrics, b.Metrics) {
+		t.Errorf("%s: observable results diverge", tag)
+	}
+}
+
+// TestStoreTwoTierLookup is the heart of the durable cache: a cold engine
+// computes and writes back; a fresh engine over the same directory answers
+// every distinct point from disk — zero simulations, zero emulated
+// instructions — with observably identical results.
+func TestStoreTwoTierLookup(t *testing.T) {
+	dir := t.TempDir()
+	jobs := storeJobs()
+
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := New(4)
+	cold.SetStore(st1)
+	coldOut := cold.RunAll(jobs)
+	cs := cold.Stats()
+	if cs.Runs != 3 || cs.StoreMisses != 3 || cs.StoreHits != 0 {
+		t.Fatalf("cold stats %+v, want 3 runs / 3 store misses", cs)
+	}
+	if cs.StoreCkptMisses != 2 || cs.StoreCkptHits != 0 {
+		t.Fatalf("cold ckpt-store stats %+v, want 2 misses", cs)
+	}
+	if m := st1.Metrics(); m.Writes != 5 { // 3 results + 2 checkpoints
+		t.Fatalf("cold store wrote %d entries, want 5", m.Writes)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := New(4)
+	warm.SetStore(st2)
+	warmOut := warm.RunAll(jobs)
+	ws := warm.Stats()
+	if ws.Runs != 0 || ws.EmuInsts != 0 {
+		t.Errorf("warm run computed something: %+v", ws)
+	}
+	if ws.StoreHits != 3 || ws.StoreMisses != 0 {
+		t.Errorf("warm run not 100%% store hits: %+v", ws)
+	}
+	if ws.Hits != 1 { // the duplicate job still lands in the memory tier
+		t.Errorf("memory tier lost the duplicate: %+v", ws)
+	}
+
+	// Byte-identity of the observable results, against both the cold run
+	// and a storeless reference engine.
+	ref := New(4).RunAll(jobs)
+	for i := range jobs {
+		if coldOut[i].Err != nil || warmOut[i].Err != nil || ref[i].Err != nil {
+			t.Fatalf("job %d errored: %v / %v / %v", i, coldOut[i].Err, warmOut[i].Err, ref[i].Err)
+		}
+		sameObservable(t, "warm vs cold", warmOut[i].Result, coldOut[i].Result)
+		sameObservable(t, "warm vs storeless", warmOut[i].Result, ref[i].Result)
+	}
+}
+
+// TestStoreCheckpointTier pins that a warm store eliminates prefix
+// emulation: the second engine restores every checkpoint from disk.
+func TestStoreCheckpointTier(t *testing.T) {
+	dir := t.TempDir()
+	job := Solo(sim.Default(sim.PFNone), "lbm", storeOpts())
+
+	st1, _ := store.Open(dir)
+	cold := NewSequential()
+	cold.SetStore(st1)
+	if _, err := cold.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if cs := cold.Stats(); cs.CkptMisses != 1 || cs.EmuInsts == 0 {
+		t.Fatalf("cold run did not emulate a checkpoint: %+v", cs)
+	}
+
+	st2, _ := store.Open(dir)
+	warmEng := NewSequential()
+	warmEng.SetStore(st2)
+	// Force a result-tier miss with a config the cold engine never ran, so
+	// the simulation must execute — but its checkpoint must come from disk.
+	job2 := Solo(sim.Default(sim.PFStride), "lbm", storeOpts())
+	if _, err := warmEng.Run(job2); err != nil {
+		t.Fatal(err)
+	}
+	ws := warmEng.Stats()
+	if ws.Runs != 1 {
+		t.Fatalf("expected a simulation: %+v", ws)
+	}
+	if ws.StoreCkptHits != 1 || ws.CkptMisses != 0 || ws.EmuInsts != 0 {
+		t.Errorf("checkpoint not restored from store: %+v", ws)
+	}
+}
+
+// TestStoreWorkerCountInvariant shares one store directory between a
+// sequential and a wide engine: both must see the same hits and produce the
+// same bytes — the disk tier must be as scheduling-independent as the
+// memory tier.
+func TestStoreWorkerCountInvariant(t *testing.T) {
+	dir := t.TempDir()
+	jobs := storeJobs()
+
+	st1, _ := store.Open(dir)
+	e1 := New(1)
+	e1.SetStore(st1)
+	out1 := e1.RunAll(jobs)
+
+	st8, _ := store.Open(dir)
+	e8 := New(8)
+	e8.SetStore(st8)
+	out8 := e8.RunAll(jobs)
+
+	if s := e8.Stats(); s.Runs != 0 || s.StoreMisses != 0 {
+		t.Errorf("-j 8 over a warm shared store recomputed: %+v", s)
+	}
+	for i := range jobs {
+		sameObservable(t, "j1 vs j8", out1[i].Result, out8[i].Result)
+	}
+}
+
+// TestStoreDisabledByNoCache: SetCache(false) bypasses both tiers — the
+// escape hatch stays a true escape hatch.
+func TestStoreDisabledByNoCache(t *testing.T) {
+	st, _ := store.Open(t.TempDir())
+	e := NewSequential()
+	e.SetStore(st)
+	e.SetCache(false)
+	job := Solo(sim.Default(sim.PFNone), "gamess", tinyOpts())
+	e.RunAll([]Job{job, job})
+	if s := e.Stats(); s.Runs != 2 || s.StoreHits != 0 || s.StoreMisses != 0 {
+		t.Errorf("cache-off engine touched the store: %+v", s)
+	}
+	if m := st.Metrics(); m.Writes != 0 {
+		t.Errorf("cache-off engine wrote %d entries", m.Writes)
+	}
+}
+
+// TestStoreBatchLog checks the batch summary names the disk tier.
+func TestStoreBatchLog(t *testing.T) {
+	st, _ := store.Open(t.TempDir())
+	e := NewSequential()
+	e.SetStore(st)
+	var buf bytes.Buffer
+	e.SetLog(&buf)
+	e.RunAll([]Job{Solo(sim.Default(sim.PFNone), "mcf", tinyOpts())})
+	if out := buf.String(); !strings.Contains(out, "store 0 hits / 1 misses") {
+		t.Errorf("batch log lacks store summary:\n%s", out)
+	}
+}

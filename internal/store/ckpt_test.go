@@ -1,0 +1,148 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+const ffInsts = 20_000
+
+// TestCheckpointRoundTripAllWorkloads is the serialization golden test:
+// for every registered workload, serialize → store → restore must yield an
+// architectural state and memory image bit-identical to the in-process
+// Freeze/Fork checkpoint it came from. This is the property that lets a
+// disk read replace a prefix emulation without any bit-identity caveats.
+func TestCheckpointRoundTripAllWorkloads(t *testing.T) {
+	s := open(t)
+	names := workload.Names()
+	if len(names) < 18 {
+		t.Fatalf("workload suite shrank to %d kernels", len(names))
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			orig, err := ckpt.ByName(name, ffInsts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key, err := CheckpointKey(name, ffInsts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.GetCheckpoint(key, name, ffInsts); ok {
+				t.Fatal("hit before put")
+			}
+			if err := s.PutCheckpoint(key, orig); err != nil {
+				t.Fatal(err)
+			}
+			back, ok := s.GetCheckpoint(key, name, ffInsts)
+			if !ok {
+				t.Fatal("stored checkpoint not found")
+			}
+			if back.Arch != orig.Arch {
+				t.Errorf("architectural state differs:\n got %+v\nwant %+v", back.Arch, orig.Arch)
+			}
+			if !mem.Equal(back.Image(), orig.Image()) {
+				t.Error("memory image differs after round trip")
+			}
+			if back.Workload != orig.Workload || back.FFInsts != orig.FFInsts {
+				t.Errorf("identity fields differ: %q/%d vs %q/%d",
+					back.Workload, back.FFInsts, orig.Workload, orig.FFInsts)
+			}
+		})
+	}
+}
+
+// TestCheckpointRestoredSimBitIdentical runs the cycle simulator from a
+// store-restored checkpoint and from the original, and requires identical
+// measured results — the end-to-end consequence of the round-trip property.
+func TestCheckpointRestoredSimBitIdentical(t *testing.T) {
+	s := open(t)
+	orig, err := ckpt.ByName("mcf", ffInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := CheckpointKey("mcf", ffInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCheckpoint(key, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, ok := s.GetCheckpoint(key, "mcf", ffInsts)
+	if !ok {
+		t.Fatal("stored checkpoint not found")
+	}
+	cfg := sim.Default(sim.PFBFetch)
+	opts := sim.RunOpts{FastForwardInsts: ffInsts, WarmupInsts: 2_000, MeasureInsts: 5_000}
+	want, err := sim.RunCheckpointed(cfg, []*ckpt.Checkpoint{orig}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.RunCheckpointed(cfg, []*ckpt.Checkpoint{back}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != want.Cycles || got.IPC[0] != want.IPC[0] {
+		t.Errorf("restored-checkpoint sim diverges: %d cycles IPC %.6f vs %d cycles IPC %.6f",
+			got.Cycles, got.IPC[0], want.Cycles, want.IPC[0])
+	}
+}
+
+// TestCheckpointKeyInvalidation pins the key's sensitivity: the fast-forward
+// length must split keys, and an unknown workload must error rather than
+// fabricate one.
+func TestCheckpointKeyInvalidation(t *testing.T) {
+	a, err := CheckpointKey("mcf", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CheckpointKey("mcf", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("different ff lengths share a key")
+	}
+	c, err := CheckpointKey("lbm", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different workloads share a key")
+	}
+	if a2, _ := CheckpointKey("mcf", 1000); a2 != a {
+		t.Error("checkpoint key unstable")
+	}
+	if _, err := CheckpointKey("no-such-kernel", 1000); err == nil {
+		t.Error("unknown workload produced a key")
+	}
+}
+
+// TestCheckpointWrongIdentityIsAMiss: an entry whose payload names another
+// (workload, ff) point — conceivable only through tampering or a key
+// collision — must read as a miss.
+func TestCheckpointWrongIdentityIsAMiss(t *testing.T) {
+	s := open(t)
+	cp, err := ckpt.ByName("mcf", ffInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := CheckpointKey("mcf", ffInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCheckpoint(key, cp); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetCheckpoint(key, "lbm", ffInsts); ok {
+		t.Error("payload for mcf answered a lookup for lbm")
+	}
+	if _, ok := s.GetCheckpoint(key, "mcf", ffInsts+1); ok {
+		t.Error("payload for ff=20000 answered a lookup for ff=20001")
+	}
+}
