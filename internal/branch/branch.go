@@ -189,6 +189,8 @@ func (p *Predictor) chooserIdx(ghr GHR) int {
 // Lookup predicts the direction of the conditional branch at pc given a
 // global history. It reads but never writes predictor state, so callers may
 // thread speculative histories through it freely.
+//
+//bfetch:hotpath
 func (p *Predictor) Lookup(pc uint64, ghr GHR) Pred {
 	lh := p.localHist[p.localIdx(pc)]
 	lc := p.localPHT[p.localPHTIdx(lh)]
@@ -204,6 +206,8 @@ func (p *Predictor) Lookup(pc uint64, ghr GHR) Pred {
 // history the prediction was made with; pred the value Lookup returned. The
 // caller is responsible for counting this branch via Resolve (which also
 // maintains the statistics).
+//
+//bfetch:hotpath
 func (p *Predictor) Update(pc uint64, ghr GHR, taken bool, pred Pred) {
 	li := p.localIdx(pc)
 	lh := p.localHist[li]

@@ -72,6 +72,8 @@ func (c *Confidence) idx(pc uint64, ghr GHR) int {
 
 // Estimate returns the probability that the prediction pred for the branch
 // at pc (made under history ghr) is correct. Pure; reads only.
+//
+//bfetch:hotpath
 func (c *Confidence) Estimate(pc uint64, ghr GHR, pred Pred) float64 {
 	i := c.idx(pc, ghr)
 	// Each signal is normalized to [0,1] and the three are averaged; the
@@ -84,6 +86,8 @@ func (c *Confidence) Estimate(pc uint64, ghr GHR, pred Pred) float64 {
 }
 
 // Update trains the estimator with the outcome of one prediction.
+//
+//bfetch:hotpath
 func (c *Confidence) Update(pc uint64, ghr GHR, correct bool) {
 	i := c.idx(pc, ghr)
 	if correct {

@@ -203,6 +203,8 @@ func (b *BFetch) Config() Config { return b.cfg }
 // OnDecode places the newest decoded control instruction in the DBR. The
 // lookahead engine picks it up when it finishes (or abandons) its current
 // walk.
+//
+//bfetch:hotpath
 func (b *BFetch) OnDecode(d prefetch.DecodeInfo) {
 	if d.PredNext == 0 {
 		return // stalled fetch (unresolved indirect); nothing to walk from
@@ -223,6 +225,8 @@ func (b *BFetch) OnExec(reg isa.Reg, val int64, seq uint64, now uint64) {
 // ------------------------------------------------------- commit learning --
 
 // OnCommit trains the BrTC and MHT from the in-order retirement stream.
+//
+//bfetch:hotpath
 func (b *BFetch) OnCommit(ci prefetch.CommitInfo) {
 	in := ci.Inst
 	if b.cfg.ARFFromCommit && in.HasDest() {
@@ -263,6 +267,8 @@ func (b *BFetch) OnCommit(ci prefetch.CommitInfo) {
 }
 
 // OnAccess is unused: B-Fetch is not miss-driven.
+//
+//bfetch:hotpath
 func (b *BFetch) OnAccess(prefetch.AccessInfo) {}
 
 // PrefetchUseful and PrefetchUseless route L1D feedback into the per-load
@@ -307,6 +313,8 @@ func (b *BFetch) AppendTick(dst []prefetch.Request, now uint64) []prefetch.Reque
 // flight, no decoded branch waiting in the DBR, no ARF samples draining
 // through the sampling latches, and an empty prefetch queue. Only then can
 // the core skip the engine's cycles without changing its behaviour.
+//
+//bfetch:hotpath
 func (b *BFetch) Idle() bool {
 	return !b.la.active && !b.dbrValid && b.arf.idle() && b.queue.Len() == 0
 }
@@ -335,6 +343,8 @@ func (b *BFetch) RegisterObs(reg *obs.Registry, prefix string) {
 
 // step processes one basic block: generate its prefetches, then advance to
 // the next predicted branch.
+//
+//bfetch:hotpath
 func (b *BFetch) step() {
 	b.Stats.LookaheadSteps++
 	loopCnt := b.la.visit(b.la.key.hash())
@@ -396,6 +406,8 @@ func (b *BFetch) step() {
 
 // generate emits prefetch candidates for the basic block entered via k,
 // using current ARF values plus learned offsets (Equations 2 and 3).
+//
+//bfetch:hotpath
 func (b *BFetch) generate(k pathKey, loopCnt int) {
 	e := b.mht.lookup(k)
 	if e == nil {

@@ -114,6 +114,8 @@ func (e *mhtEntry) regsFor(r uint8, alloc bool) *regHist {
 // learn records one committed load in the block entered via k: base register
 // r held snapVal when the preceding branch committed and the load accessed
 // ea. visitSeq distinguishes block visits for the same-base pattern fields.
+//
+//bfetch:hotpath
 func (m *mht) learn(k pathKey, r uint8, snapVal int64, ea uint64, loadPC uint64, visitSeq uint64) {
 	e := m.lookupAlloc(k)
 	h := e.regsFor(r, true)

@@ -311,6 +311,7 @@ func bmClear(bm []uint64, s int) { bm[s>>6] &^= 1 << (uint(s) & 63) }
 
 //bfetch:hotpath
 func bmAny(bm []uint64) bool {
+	//bfetch:bce
 	for _, w := range bm {
 		if w != 0 {
 			return true

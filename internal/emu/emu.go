@@ -88,13 +88,16 @@ func (c *CPU) SetArch(a Arch) {
 }
 
 // Step executes one instruction. It returns ErrHalted after HALT and a
-// descriptive error on an invalid PC or indirect-jump target.
+// descriptive error on an invalid PC or indirect-jump target; the error
+// constructors are hatched — they fire at most once per run, on the way out.
+//
+//bfetch:hotpath
 func (c *CPU) Step() error {
 	if c.Halted {
 		return ErrHalted
 	}
 	if c.PC < 0 || c.PC >= len(c.Prog.Insts) {
-		return fmt.Errorf("emu: pc index %d out of range", c.PC)
+		return fmt.Errorf("emu: pc index %d out of range", c.PC) //bfetch:alloc-ok
 	}
 	idx := c.PC
 	in := c.Prog.Insts[idx]
@@ -172,13 +175,13 @@ func (c *CPU) Step() error {
 		taken = true
 		tgt, ok := c.Prog.Index(uint64(c.Regs[in.Rs]))
 		if !ok {
-			return fmt.Errorf("emu: jr %s to invalid text address %#x", in.Rs, uint64(c.Regs[in.Rs]))
+			return fmt.Errorf("emu: jr %s to invalid text address %#x", in.Rs, uint64(c.Regs[in.Rs])) //bfetch:alloc-ok
 		}
 		next = tgt
 	case isa.HALT:
 		c.Halted = true
 	default:
-		return fmt.Errorf("emu: invalid opcode %v at %d", in.Op, idx)
+		return fmt.Errorf("emu: invalid opcode %v at %d", in.Op, idx) //bfetch:alloc-ok
 	}
 
 	if taken && in.Op != isa.JR {
@@ -239,6 +242,8 @@ func shiftRA(v, by int64) int64 { return v >> (uint64(by) & 63) }
 // Eval applies one instruction's ALU semantics to operand values, shared
 // with the out-of-order core so the two simulators cannot diverge on
 // arithmetic. Memory and control ops are handled by each core's own logic.
+//
+//bfetch:hotpath
 func Eval(op isa.Op, rs, rt, imm int64) (int64, bool) {
 	switch op {
 	case isa.ADD:

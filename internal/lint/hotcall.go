@@ -1,0 +1,589 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Hotcall closes the per-function blind spot of the hotpath analyzer: it
+// builds an intra-module call graph, computes the transitive closure of
+// every function reachable from a //bfetch:hotpath root, and requires each
+// reachable function to be either annotated //bfetch:hotpath itself (and so
+// checked by the hotpath and escape analyzers) or provable trivially
+// alloc-free — a body that passes the hotpath allocation checks and calls
+// nothing but safe builtins, math/bits-style pure stdlib, and other
+// trivial/annotated functions.
+//
+// Call edges are resolved without go/types, best-effort but deliberately
+// conservative: same-package functions by name, pkg.F through the file's
+// module-internal imports, and methods first by receiver-type inference
+// (receiver/parameter declarations and struct field types, followed through
+// selector chains) then by name across the calling file's package and
+// module-internal imports. Unresolvable calls (interface dispatch on
+// unknown types, function values, stdlib) contribute no edge — hotpath
+// implementations behind interfaces are expected to be annotated roots
+// themselves, which the engine convention already guarantees.
+//
+// //bfetch:coldcall <reason> on (or immediately above) a call line severs
+// that edge: the call is declared a cold sub-path (error exit, once-per-run
+// slow path) whose callee is deliberately outside the hot contract. The
+// reason string is mandatory.
+func Hotcall(pkgs []*Package, fidx *funcIndex) []Diagnostic {
+	var out []Diagnostic
+
+	// Breadth-first closure from the annotated roots; seen records the
+	// witnessing edge that first reached each function (nil for roots).
+	seen := make(map[*funcNode]*callEdge)
+	var queue []*funcNode
+	for _, n := range fidx.nodes {
+		if n.hotpath {
+			seen[n] = nil
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range fidx.edges(cur) {
+			if e.cold {
+				continue
+			}
+			for _, callee := range e.targets {
+				if _, ok := seen[callee]; ok {
+					continue
+				}
+				ec := e
+				seen[callee] = &ec
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	trivial := fidx.trivialSet(seen)
+
+	// Deterministic report order: by callee position.
+	nodes := make([]*funcNode, 0, len(seen))
+	for n := range seen {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].decl.Pos() < nodes[j].decl.Pos() })
+
+	for _, n := range nodes {
+		if n.hotpath || trivial[n] {
+			continue
+		}
+		via := seen[n]
+		why := fidx.nonTrivialReason(n, trivial)
+		caller, site := "<root>", ""
+		if via != nil {
+			caller = via.from.displayName()
+			pos := via.from.p.Fset.Position(via.pos)
+			site = fmt.Sprintf(" (call at %s:%d)", filepath.Base(pos.Filename), pos.Line)
+		}
+		n.p.report(&out, n.f, n.decl.Name.Pos(), "hotcall", "",
+			"%s is reachable from the //bfetch:hotpath closure (via %s%s) but is neither annotated //bfetch:hotpath nor trivially alloc-free: %s",
+			n.displayName(), caller, site, why)
+	}
+
+	// A coldcall hatch must carry a reason; a bare marker is unauditable.
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for line, text := range p.markerArgs(f, "bfetch:coldcall") {
+				if strings.TrimSpace(text) == "" {
+					p.report(&out, f, f.Pos(), "hotcall", "",
+						"%s:%d: //bfetch:coldcall requires a reason string", filepath.Base(p.Fset.Position(f.Pos()).Filename), line)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ----------------------------------------------------------- function index --
+
+// funcNode is one function or method declaration in the module.
+type funcNode struct {
+	p        *Package
+	f        *ast.File
+	decl     *ast.FuncDecl
+	name     string // declared name
+	recvType string // receiver type name, "" for plain functions
+	hotpath  bool
+
+	edgesOnce bool
+	edgeList  []callEdge
+}
+
+func (n *funcNode) displayName() string {
+	pkg := pkgBase(n.p.Rel)
+	if pkg == "" {
+		pkg = "main"
+	}
+	if n.recvType != "" {
+		return fmt.Sprintf("%s.%s.%s", pkg, n.recvType, n.name)
+	}
+	return fmt.Sprintf("%s.%s", pkg, n.name)
+}
+
+// callEdge is one call site with its resolved candidate targets.
+type callEdge struct {
+	from    *funcNode
+	pos     token.Pos
+	callee  string // base name as written at the call site
+	targets []*funcNode
+	cold    bool // //bfetch:coldcall severs the edge
+	// unresolved marks a call that names no module function we could
+	// resolve — interface dispatch, func values, stdlib. Reachability
+	// ignores it; the triviality proof treats it as disqualifying unless
+	// whitelisted.
+	unresolved bool
+	// safe marks calls that cannot allocate: builtins, numeric
+	// conversions, whitelisted pure stdlib.
+	safe bool
+}
+
+// funcIndex carries every function declaration in the module plus the type
+// hints needed to resolve method calls.
+type funcIndex struct {
+	pkgs  []*Package
+	nodes []*funcNode
+
+	byPkgFunc   map[string]*funcNode   // "rel|name" → plain function
+	byPkgMethod map[string][]*funcNode // "rel|name" → methods with that name
+	hotByBase   map[string]bool        // base names annotated hotpath anywhere
+	pkgByRel    map[string]*Package
+
+	// fieldType maps "rel|Type|field" to the named type of a struct field:
+	// "rel2|Type2" (module-internal packages only).
+	fieldType map[string]string
+	// imports maps file → local import name → module-relative package dir.
+	imports map[*ast.File]map[string]string
+	// modPath is the module path from go.mod ("repro"), used to recognize
+	// module-internal imports.
+	modPath string
+}
+
+func buildFuncIndex(pkgs []*Package) *funcIndex {
+	fi := &funcIndex{
+		pkgs:        pkgs,
+		byPkgFunc:   make(map[string]*funcNode),
+		byPkgMethod: make(map[string][]*funcNode),
+		hotByBase:   make(map[string]bool),
+		pkgByRel:    make(map[string]*Package),
+		fieldType:   make(map[string]string),
+		imports:     make(map[*ast.File]map[string]string),
+		modPath:     moduleImportPath(pkgs),
+	}
+	byBaseName := make(map[string]string) // package base name → rel (for import resolution)
+	for _, p := range pkgs {
+		fi.pkgByRel[p.Rel] = p
+		byBaseName[pkgBase(p.Rel)] = p.Rel
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			imp := make(map[string]string)
+			for _, spec := range f.Imports {
+				path, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					continue
+				}
+				rel, ok := fi.moduleRelImport(path)
+				if !ok {
+					continue
+				}
+				name := pkgBase(rel)
+				if spec.Name != nil {
+					name = spec.Name.Name
+				}
+				imp[name] = rel
+			}
+			fi.imports[f] = imp
+
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Body == nil {
+						continue
+					}
+					n := &funcNode{p: p, f: f, decl: d, name: d.Name.Name,
+						hotpath: hasDirective(d.Doc, "bfetch:hotpath")}
+					if d.Recv != nil {
+						_, n.recvType = recvInfo(d)
+					}
+					fi.nodes = append(fi.nodes, n)
+					if n.recvType == "" {
+						fi.byPkgFunc[p.Rel+"|"+n.name] = n
+					} else {
+						fi.byPkgMethod[p.Rel+"|"+n.name] = append(fi.byPkgMethod[p.Rel+"|"+n.name], n)
+					}
+					if n.hotpath {
+						fi.hotByBase[n.name] = true
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						st, ok := ts.Type.(*ast.StructType)
+						if !ok || st.Fields == nil {
+							continue
+						}
+						for _, field := range st.Fields.List {
+							ftype := namedTypeOf(field.Type, f, fi, byBaseName, p.Rel)
+							if ftype == "" {
+								continue
+							}
+							for _, name := range field.Names {
+								fi.fieldType[p.Rel+"|"+ts.Name.Name+"|"+name.Name] = ftype
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return fi
+}
+
+// moduleRelImport maps an import path to a module-relative dir, if the path
+// is inside this module.
+func (fi *funcIndex) moduleRelImport(path string) (string, bool) {
+	if fi.modPath == "" {
+		return "", false
+	}
+	if path == fi.modPath {
+		return "", true
+	}
+	if strings.HasPrefix(path, fi.modPath+"/") {
+		return path[len(fi.modPath)+1:], true
+	}
+	return "", false
+}
+
+// moduleImportPath infers the module path from any file's module-internal
+// imports; falls back to scanning go.mod next to the root package.
+func moduleImportPath(pkgs []*Package) string {
+	for _, p := range pkgs {
+		if p.Rel == "" {
+			data, err := readGoModModule(p.Dir)
+			if err == nil {
+				return data
+			}
+		}
+	}
+	// No root package parsed: walk up from the first package dir.
+	if len(pkgs) > 0 {
+		dir := pkgs[0].Dir
+		for i := 0; i < 10; i++ {
+			if m, err := readGoModModule(dir); err == nil {
+				return m
+			}
+			parent := filepath.Dir(dir)
+			if parent == dir {
+				break
+			}
+			dir = parent
+		}
+	}
+	return ""
+}
+
+// namedTypeOf resolves a field type expression to "rel|TypeName" when it
+// names a struct type in this module ("" otherwise). Pointers are followed;
+// slices/maps/funcs/interfaces are not.
+func namedTypeOf(t ast.Expr, f *ast.File, fi *funcIndex, byBaseName map[string]string, selfRel string) string {
+	for {
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+			continue
+		}
+		break
+	}
+	switch v := t.(type) {
+	case *ast.Ident:
+		return selfRel + "|" + v.Name
+	case *ast.SelectorExpr:
+		if x, ok := v.X.(*ast.Ident); ok {
+			if rel, ok := fi.imports[f][x.Name]; ok {
+				return rel + "|" + v.Sel.Name
+			}
+			if rel, ok := byBaseName[x.Name]; ok {
+				return rel + "|" + v.Sel.Name
+			}
+		}
+	}
+	return ""
+}
+
+// ------------------------------------------------------------- call edges --
+
+// safeBuiltins never allocate on the hot path (panic is terminal: by the
+// time it fires the cycle kernel is already aborting).
+var safeBuiltins = map[string]bool{
+	"len": true, "cap": true, "copy": true, "delete": true,
+	"min": true, "max": true, "panic": true, "print": true, "println": true,
+	"real": true, "imag": true, "complex": true, "clear": true,
+}
+
+// numericTypes recognizes builtin conversion calls that stay on the stack.
+var numericTypes = map[string]bool{
+	"bool": true, "byte": true, "rune": true, "uintptr": true,
+	"int": true, "int8": true, "int16": true, "int32": true, "int64": true,
+	"uint": true, "uint8": true, "uint16": true, "uint32": true, "uint64": true,
+	"float32": true, "float64": true, "complex64": true, "complex128": true,
+}
+
+// safeStdlibPkgs are stdlib packages whose exported functions are pure and
+// non-allocating — safe to call from trivially-alloc-free helpers.
+var safeStdlibPkgs = map[string]bool{"bits": true, "math": true}
+
+// edges resolves (and memoizes) the outgoing call edges of a node.
+func (fi *funcIndex) edges(n *funcNode) []callEdge {
+	if n.edgesOnce {
+		return n.edgeList
+	}
+	n.edgesOnce = true
+	recvName := ""
+	if n.decl.Recv != nil {
+		recvName, _ = recvInfo(n.decl)
+	}
+	types := fi.localTypes(n, recvName)
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		e := fi.resolveCall(n, call, types)
+		e.cold = n.p.suppressed(n.f, call.Pos(), "bfetch:coldcall")
+		n.edgeList = append(n.edgeList, e)
+		return true
+	})
+	return n.edgeList
+}
+
+// localTypes maps the function's receiver and parameters to "rel|Type" for
+// module-internal named types.
+func (fi *funcIndex) localTypes(n *funcNode, recvName string) map[string]string {
+	byBaseName := make(map[string]string)
+	for _, p := range fi.pkgs {
+		byBaseName[pkgBase(p.Rel)] = p.Rel
+	}
+	types := make(map[string]string)
+	if recvName != "" && n.recvType != "" {
+		types[recvName] = n.p.Rel + "|" + n.recvType
+	}
+	if n.decl.Type.Params != nil {
+		for _, field := range n.decl.Type.Params.List {
+			t := namedTypeOf(field.Type, n.f, fi, byBaseName, n.p.Rel)
+			if t == "" {
+				continue
+			}
+			for _, name := range field.Names {
+				types[name.Name] = t
+			}
+		}
+	}
+	return types
+}
+
+// resolveCall classifies one call expression and resolves its module-internal
+// targets.
+func (fi *funcIndex) resolveCall(n *funcNode, call *ast.CallExpr, types map[string]string) callEdge {
+	e := callEdge{from: n, pos: call.Pos()}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		e.callee = fun.Name
+		if safeBuiltins[fun.Name] || numericTypes[fun.Name] ||
+			fun.Name == "make" || fun.Name == "new" || fun.Name == "append" || fun.Name == "string" {
+			// The allocating builtins are safe *edges*: whether they
+			// allocate is the body check's question (bodyAllocClean flags
+			// make/new/string and append-to-fresh-local), not the graph's.
+			e.safe = true
+			return e
+		}
+		if t := fi.byPkgFunc[n.p.Rel+"|"+fun.Name]; t != nil {
+			e.targets = []*funcNode{t}
+			return e
+		}
+		e.unresolved = true
+	case *ast.SelectorExpr:
+		e.callee = fun.Sel.Name
+		if x, ok := fun.X.(*ast.Ident); ok {
+			// pkg.F through a module-internal import.
+			if rel, ok := fi.imports[n.f][x.Name]; ok {
+				if t := fi.byPkgFunc[rel+"|"+fun.Sel.Name]; t != nil {
+					e.targets = []*funcNode{t}
+					return e
+				}
+				// pkg.Type method value or unexported func we didn't index.
+				e.unresolved = true
+				return e
+			}
+			if safeStdlibPkgs[x.Name] && fi.imports[n.f][x.Name] == "" {
+				e.safe = true
+				return e
+			}
+		}
+		// Method call: typed resolution first, name fallback second.
+		if t := fi.typedReceiver(fun.X, n, types); t != "" {
+			rel, typ, _ := strings.Cut(t, "|")
+			for _, m := range fi.byPkgMethod[rel+"|"+fun.Sel.Name] {
+				if m.recvType == typ {
+					e.targets = []*funcNode{m}
+					return e
+				}
+			}
+			// Known type, no such method in-module (embedded/interface):
+			// fall through to the name fallback.
+		}
+		var cands []*funcNode
+		cands = append(cands, fi.byPkgMethod[n.p.Rel+"|"+fun.Sel.Name]...)
+		for _, rel := range fi.imports[n.f] {
+			cands = append(cands, fi.byPkgMethod[rel+"|"+fun.Sel.Name]...)
+		}
+		if len(cands) > 0 {
+			e.targets = cands
+			return e
+		}
+		e.unresolved = true
+	default:
+		// Conversions to named types, func values, etc.
+		e.unresolved = true
+	}
+	return e
+}
+
+// typedReceiver resolves the receiver expression of a method call to
+// "rel|Type" by following identifier → selector chains through declared
+// receiver/parameter types and struct field types.
+func (fi *funcIndex) typedReceiver(x ast.Expr, n *funcNode, types map[string]string) string {
+	switch v := x.(type) {
+	case *ast.Ident:
+		return types[v.Name]
+	case *ast.ParenExpr:
+		return fi.typedReceiver(v.X, n, types)
+	case *ast.StarExpr:
+		return fi.typedReceiver(v.X, n, types)
+	case *ast.UnaryExpr:
+		return fi.typedReceiver(v.X, n, types)
+	case *ast.IndexExpr:
+		return "" // element types not tracked
+	case *ast.SelectorExpr:
+		base := fi.typedReceiver(v.X, n, types)
+		if base == "" {
+			return ""
+		}
+		return fi.fieldType[base+"|"+v.Sel.Name]
+	}
+	return ""
+}
+
+// ------------------------------------------------------------- triviality --
+
+// trivialSet computes, by fixpoint, which reachable un-annotated functions
+// are provably trivially alloc-free: body passes the hotpath allocation
+// checks and every call is safe, annotated, or itself trivial.
+func (fi *funcIndex) trivialSet(reachable map[*funcNode]*callEdge) map[*funcNode]bool {
+	trivial := make(map[*funcNode]bool, len(reachable))
+	for n := range reachable {
+		if !n.hotpath {
+			trivial[n] = fi.bodyAllocClean(n)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for n, ok := range trivial {
+			if !ok {
+				continue
+			}
+			if !fi.callsTrivial(n, trivial) {
+				trivial[n] = false
+				changed = true
+			}
+		}
+	}
+	return trivial
+}
+
+// bodyAllocClean runs the hotpath allocation checks over a function body
+// (ignoring suppression markers: a trivial function needs no hatches).
+func (fi *funcIndex) bodyAllocClean(n *funcNode) bool {
+	var out []Diagnostic
+	h := &hotpathCheck{p: n.p, f: n.f, idx: nil, out: &out, nosuppress: true}
+	h.fresh = freshLocals(n.decl)
+	ast.Inspect(n.decl.Body, h.visit)
+	return len(out) == 0
+}
+
+// callsTrivial reports whether every non-cold call in n resolves to safe,
+// hotpath-annotated, or currently-trivial targets.
+func (fi *funcIndex) callsTrivial(n *funcNode, trivial map[*funcNode]bool) bool {
+	for _, e := range fi.edges(n) {
+		if e.safe || e.cold {
+			continue
+		}
+		if e.unresolved {
+			if fi.hotByBase[e.callee] {
+				continue // interface dispatch onto annotated implementations
+			}
+			return false
+		}
+		for _, t := range e.targets {
+			if t.hotpath || trivial[t] {
+				continue
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// nonTrivialReason explains why a reachable function failed the triviality
+// proof, for the diagnostic message.
+func (fi *funcIndex) nonTrivialReason(n *funcNode, trivial map[*funcNode]bool) string {
+	if !fi.bodyAllocClean(n) {
+		var out []Diagnostic
+		h := &hotpathCheck{p: n.p, f: n.f, idx: nil, out: &out, nosuppress: true}
+		h.fresh = freshLocals(n.decl)
+		ast.Inspect(n.decl.Body, h.visit)
+		return fmt.Sprintf("body allocates (%s)", out[0].Message)
+	}
+	for _, e := range fi.edges(n) {
+		if e.safe || e.cold {
+			continue
+		}
+		if e.unresolved {
+			if fi.hotByBase[e.callee] {
+				continue
+			}
+			return fmt.Sprintf("calls %s, which cannot be resolved in-module", e.callee)
+		}
+		for _, t := range e.targets {
+			if !t.hotpath && !trivial[t] {
+				return fmt.Sprintf("calls non-trivial %s", t.displayName())
+			}
+		}
+	}
+	return "not provably alloc-free"
+}
+
+func readGoModModule(dir string) (string, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", dir)
+}

@@ -1,10 +1,18 @@
-// Package lint is the repository's custom static-analysis suite. It
-// mechanically enforces the three invariants the simulator's performance and
-// reproducibility rest on, using only the standard library's go/ast,
-// go/parser and go/token (the module stays dependency-free):
+// Package lint is the repository's custom static-analysis suite: a
+// two-layer system enforcing the invariants the simulator's performance and
+// reproducibility rest on, using only the standard library (the module
+// stays dependency-free).
+//
+// Layer 2 — whole-program AST (fast, runs on every `make lint`):
 //
 //   - hotpath: functions annotated //bfetch:hotpath (the per-cycle
 //     simulation kernel) must not contain allocating constructs.
+//   - hotcall: the transitive closure of functions reachable from a
+//     //bfetch:hotpath root must be annotated (and therefore checked) or
+//     provably trivially alloc-free — no un-annotated helper slips through.
+//   - syncorder: no channel send while a mutex is held, lock acquisition
+//     must respect the declared //bfetch:lockorder partial order, and sync
+//     types must not be copied by value.
 //   - determinism: the simulation/experiment packages must not consult
 //     global randomness or wall clocks, and must not publish results from a
 //     map iteration without an explicit sort.
@@ -12,14 +20,24 @@
 //     for all of its fields — each field is either assigned in the method or
 //     explicitly annotated //bfetch:noreset.
 //
+// Layer 1 — compiler-witnessed (`make lint-full`, facts.go/escape.go):
+//
+//   - escape: runs the real compiler with -m=2 and the BCE debug stream and
+//     fails when a //bfetch:hotpath function heap-escapes a value, calls a
+//     non-inlined callee without a //bfetch:noinline-ok reason, or a
+//     //bfetch:bce loop retains a bounds check. The diagnostic fact table is
+//     cached per package by build ID, so warm runs cost milliseconds.
+//
 // Escape hatches are deliberate and auditable: //bfetch:alloc-ok,
-// //bfetch:wallclock and //bfetch:orderok suppress a single finding on the
-// same or the following line; //bfetch:noreset marks a struct field as
-// learned/configuration state that a stats reset must preserve. DESIGN.md §6
-// documents the contract.
+// //bfetch:wallclock, //bfetch:orderok and //bfetch:sync-ok suppress a
+// single finding on the same or the following line; //bfetch:noinline-ok
+// and //bfetch:coldcall require a reason string; //bfetch:noreset marks a
+// struct field as learned/configuration state that a stats reset must
+// preserve. DESIGN.md §6b–6c document the contract and annotation grammar.
 package lint
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -27,10 +45,15 @@ import (
 	"strings"
 )
 
+// AnalyzerNames lists every analyzer the suite runs, in gate order. The
+// first five are the AST layer (Run); "escape" is the compiler-witnessed
+// layer (Escape, fed by CollectFacts).
+var AnalyzerNames = []string{"hotpath", "hotcall", "syncorder", "determinism", "statsreset", "escape"}
+
 // Diagnostic is one finding.
 type Diagnostic struct {
 	Pos      token.Position
-	Analyzer string // "hotpath" | "determinism" | "statsreset"
+	Analyzer string // one of AnalyzerNames
 	Message  string
 }
 
@@ -72,22 +95,74 @@ func DefaultOptions() Options {
 	}}
 }
 
-// Run applies the three analyzers to the packages and returns the surviving
-// (unsuppressed) diagnostics sorted by position.
+// Run applies the AST-layer analyzers (hotpath, hotcall, syncorder,
+// determinism, statsreset) to the packages and returns the surviving
+// (unsuppressed) diagnostics sorted by position. The compiler-witnessed
+// escape analyzer is separate (CollectFacts + Escape) because it shells out
+// to the toolchain.
 func Run(pkgs []*Package, opts Options) []Diagnostic {
 	det := make(map[string]bool, len(opts.DeterminismPkgs))
 	for _, p := range opts.DeterminismPkgs {
 		det[p] = true
 	}
 	idx := buildModuleIndex(pkgs)
+	fidx := buildFuncIndex(pkgs)
 	var out []Diagnostic
 	for _, p := range pkgs {
 		out = append(out, Hotpath(p, idx)...)
 		out = append(out, StatsReset(p)...)
+		out = append(out, SyncOrder(p)...)
 		if det[p.Rel] {
 			out = append(out, Determinism(p, idx)...)
 		}
 	}
+	out = append(out, Hotcall(pkgs, fidx)...)
+	sortDiags(out)
+	return out
+}
+
+// RunResult is the outcome of the full two-layer gate.
+type RunResult struct {
+	Diags []Diagnostic
+	Ran   []string // analyzers that actually executed, in gate order
+	// Warnings carries non-fatal degradations — most importantly the
+	// escape analyzer skipping itself because the toolchain's diagnostic
+	// format was not recognized. A warning is not a pass: CI surfaces it.
+	Warnings []string
+	Packages int
+}
+
+// RunAll loads the module at root and applies the AST layer and, when
+// compiler is true, the compiler-witnessed escape layer. An unrecognizable
+// toolchain diagnostic format degrades escape to a skip-with-warning rather
+// than an error (or a false pass).
+func RunAll(root string, opts Options, compiler bool, copts CollectOptions) (RunResult, error) {
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		return RunResult{}, err
+	}
+	res := RunResult{Packages: len(pkgs)}
+	res.Diags = Run(pkgs, opts)
+	res.Ran = []string{"hotpath", "hotcall", "syncorder", "determinism", "statsreset"}
+	if compiler {
+		facts, ferr := CollectFacts(root, pkgs, copts)
+		switch {
+		case errors.Is(ferr, ErrNoFacts):
+			res.Warnings = append(res.Warnings, ferr.Error())
+		case ferr != nil:
+			return res, ferr
+		default:
+			fidx := buildFuncIndex(pkgs)
+			diags := Escape(pkgs, fidx, facts)
+			res.Diags = append(res.Diags, diags...)
+			res.Ran = append(res.Ran, "escape")
+			sortDiags(res.Diags)
+		}
+	}
+	return res, nil
+}
+
+func sortDiags(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -98,7 +173,6 @@ func Run(pkgs []*Package, opts Options) []Diagnostic {
 		}
 		return out[i].Message < out[j].Message
 	})
-	return out
 }
 
 // ---------------------------------------------------------------- markers --
@@ -132,6 +206,27 @@ func (p *Package) markerLines(f *ast.File, marker string) map[int]bool {
 		p.markers[f] = byMarker
 	}
 	return byMarker[marker]
+}
+
+// markerArgs returns, per line, the text following marker in f's comments
+// (e.g. the reason string of //bfetch:noinline-ok or //bfetch:coldcall).
+// Lines carrying the marker with no argument map to "".
+func (p *Package) markerArgs(f *ast.File, marker string) map[int]string {
+	out := make(map[int]string)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, marker) {
+				continue
+			}
+			rest := text[len(marker):]
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // a different, longer marker name
+			}
+			out[p.Fset.Position(c.Pos()).Line] = strings.TrimSpace(rest)
+		}
+	}
+	return out
 }
 
 // suppressed reports whether pos is covered by marker: the marker comment

@@ -1,0 +1,45 @@
+// Package escape is the golden fixture for the compiler-witnessed layer.
+// TestEscapeGolden builds it with the diagnostic flags for real, so the
+// wants below assert against live toolchain output rather than recordings.
+package escape
+
+// leak returns the address of a local: the compiler moves v to the heap.
+//
+//bfetch:hotpath
+func leak(n int) *int {
+	v := n + 1 // want "escapes to heap inside //bfetch:hotpath leak"
+	return &v
+}
+
+// big is deliberately uninlinable; the pragma pins that verdict so the
+// fixture does not drift with inlining-cost tuning across toolchains.
+//
+//go:noinline
+func big(xs []int) int {
+	s := 0
+	for i := 0; i < len(xs); i++ {
+		s += xs[i] * xs[i&1]
+	}
+	return s
+}
+
+//bfetch:hotpath
+func drive(xs []int) int {
+	return big(xs) // want "call to big in //bfetch:hotpath drive is not inlined"
+}
+
+//bfetch:hotpath
+func driveHatched(xs []int) int {
+	return big(xs) //bfetch:noinline-ok cold configuration validation, called once
+}
+
+// bceBad keeps a data-dependent bounds check inside an annotated loop:
+// nothing bounds idx's elements against len(xs).
+func bceBad(xs []int, idx []int) int {
+	s := 0
+	//bfetch:bce
+	for _, i := range idx {
+		s += xs[i] // want "bce loop retains a bounds check"
+	}
+	return s
+}

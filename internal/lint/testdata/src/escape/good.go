@@ -1,0 +1,20 @@
+package escape
+
+// bceGood indexes with the range induction variable: the compiler proves
+// every access in bounds and the //bfetch:bce claim holds.
+func bceGood(xs []uint64) uint64 {
+	var s uint64
+	//bfetch:bce
+	for i := range xs {
+		s += xs[i]
+	}
+	return s
+}
+
+// stack keeps everything on the stack: no escape facts in a hotpath body.
+//
+//bfetch:hotpath
+func stack(n int) int {
+	v := n * 2
+	return v + 1
+}

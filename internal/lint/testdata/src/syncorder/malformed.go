@@ -1,0 +1,6 @@
+package syncorder // want "malformed //bfetch:lockorder"
+
+// A trailing < leaves an empty chain element; the declaration is rejected
+// loudly rather than silently unenforced.
+//
+//bfetch:lockorder server.mu <

@@ -61,6 +61,13 @@ func New() *Memory {
 	return &Memory{pages: make(map[uint64]*page)}
 }
 
+// pageFor translates addr to its backing page: TLB probe, then the private
+// page table, then the shared read-only base. With alloc set, a write to a
+// shared page privatizes a copy and a write to untouched memory faults in a
+// fresh page — each allocates once per page, then the TLB absorbs every
+// later access, so the fault exits are hatched cold paths.
+//
+//bfetch:hotpath
 func (m *Memory) pageFor(addr uint64, alloc bool) *page {
 	pn := addr / PageBytes
 	e := &m.tlb[tlbIdx(pn)]
@@ -77,7 +84,7 @@ func (m *Memory) pageFor(addr uint64, alloc bool) *page {
 				e.pn, e.p, e.rw = pn, q, false
 				return q
 			}
-			cp := *q // first write to a shared page: copy it private
+			cp := *q //bfetch:alloc-ok first write to a shared page: copy it private
 			m.pages[pn] = &cp
 			e.pn, e.p, e.rw = pn, &cp, true
 			return &cp
@@ -86,13 +93,15 @@ func (m *Memory) pageFor(addr uint64, alloc bool) *page {
 	if !alloc {
 		return nil
 	}
-	p := new(page)
+	p := new(page) //bfetch:alloc-ok
 	m.pages[pn] = p
 	e.pn, e.p, e.rw = pn, p, true
 	return p
 }
 
 // Read8 returns the byte at addr; untouched memory reads as zero.
+//
+//bfetch:hotpath
 func (m *Memory) Read8(addr uint64) byte {
 	if p := m.pageFor(addr, false); p != nil {
 		off := addr % PageBytes
@@ -102,6 +111,8 @@ func (m *Memory) Read8(addr uint64) byte {
 }
 
 // Write8 stores one byte at addr.
+//
+//bfetch:hotpath
 func (m *Memory) Write8(addr uint64, v byte) {
 	p := m.pageFor(addr, true)
 	off := addr % PageBytes
@@ -113,6 +124,8 @@ func (m *Memory) Write8(addr uint64, v byte) {
 // case — the only access the ISA's LD issues on every real workload — is a
 // single indexed load, small enough to inline into the emulator loops; TLB
 // misses, copy-on-write faults and misaligned accesses take the slow path.
+//
+//bfetch:hotpath
 func (m *Memory) Read64(addr uint64) uint64 {
 	pn := addr / PageBytes
 	e := &m.tlb[tlbIdx(pn)]
@@ -122,6 +135,9 @@ func (m *Memory) Read64(addr uint64) uint64 {
 	return m.read64Slow(addr)
 }
 
+// read64Slow handles the TLB-missing and misaligned tails of Read64.
+//
+//bfetch:hotpath
 func (m *Memory) read64Slow(addr uint64) uint64 {
 	if addr&7 == 0 {
 		p := m.pageFor(addr, false)
@@ -140,6 +156,8 @@ func (m *Memory) read64Slow(addr uint64) uint64 {
 // Write64 stores a little-endian 64-bit word at addr. Like Read64, the hit
 // path inlines; a hit requires write ownership (e.rw), so copy-on-write
 // faults always reach pageFor.
+//
+//bfetch:hotpath
 func (m *Memory) Write64(addr uint64, v uint64) {
 	pn := addr / PageBytes
 	e := &m.tlb[tlbIdx(pn)]
@@ -179,6 +197,10 @@ func (m *Memory) Store64(addr uint64, v uint64) bool {
 	return false
 }
 
+// write64Slow handles the TLB-missing, copy-on-write and misaligned tails
+// of Write64.
+//
+//bfetch:hotpath
 func (m *Memory) write64Slow(addr uint64, v uint64) {
 	if addr&7 == 0 {
 		m.pageFor(addr, true)[addr%PageBytes/8] = v
@@ -191,7 +213,10 @@ func (m *Memory) write64Slow(addr uint64, v uint64) {
 
 // ReadInt64 and WriteInt64 are signed conveniences used by the emulators.
 
-func (m *Memory) ReadInt64(addr uint64) int64     { return int64(m.Read64(addr)) }
+//bfetch:hotpath
+func (m *Memory) ReadInt64(addr uint64) int64 { return int64(m.Read64(addr)) }
+
+//bfetch:hotpath
 func (m *Memory) WriteInt64(addr uint64, v int64) { m.Write64(addr, uint64(v)) }
 
 // FootprintBytes reports the resident size (touched pages × page size).

@@ -100,23 +100,33 @@ type Prefetcher interface {
 // should override it.
 type Base struct{}
 
-func (Base) OnDecode(DecodeInfo)            {}
-func (Base) OnCommit(CommitInfo)            {}
-func (Base) OnAccess(AccessInfo)            {}
+//bfetch:hotpath
+func (Base) OnDecode(DecodeInfo) {}
+
+//bfetch:hotpath
+func (Base) OnCommit(CommitInfo) {}
+
+//bfetch:hotpath
+func (Base) OnAccess(AccessInfo) {}
+
 func (Base) PrefetchUseful(uint64, uint64)  {}
 func (Base) PrefetchUseless(uint64, uint64) {}
 
 //bfetch:hotpath
 func (Base) AppendTick(dst []Request, _ uint64) []Request { return dst }
-func (Base) Idle() bool                                   { return false }
-func (Base) ResetStats()                                  {}
-func (Base) StorageBits() int                             { return 0 }
+
+//bfetch:hotpath
+func (Base) Idle() bool       { return false }
+func (Base) ResetStats()      {}
+func (Base) StorageBits() int { return 0 }
 
 // None is the null prefetcher (the paper's baseline). It is always idle.
 type None struct{ Base }
 
 func (None) Name() string { return "none" }
-func (None) Idle() bool   { return true }
+
+//bfetch:hotpath
+func (None) Idle() bool { return true }
 
 // Queue is the bounded prefetch request queue every engine drains through.
 // It deduplicates by block address against its own contents and issues a

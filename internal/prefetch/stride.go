@@ -59,6 +59,8 @@ func (s *Stride) Name() string { return "stride" }
 
 // OnAccess trains the table on every demand load and queues prefetches when
 // a stride is confirmed.
+//
+//bfetch:hotpath
 func (s *Stride) OnAccess(a AccessInfo) {
 	if a.Write {
 		return
@@ -112,6 +114,8 @@ func (s *Stride) OnAccess(a AccessInfo) {
 func (s *Stride) AppendTick(dst []Request, now uint64) []Request { return s.queue.AppendPop(dst) }
 
 // Idle reports whether the queue is drained.
+//
+//bfetch:hotpath
 func (s *Stride) Idle() bool { return s.queue.Len() == 0 }
 
 // ResetStats zeroes the queue counters.
@@ -145,6 +149,7 @@ func NewNextN(n int) *NextN {
 
 func (p *NextN) Name() string { return "next-n" }
 
+//bfetch:hotpath
 func (p *NextN) OnAccess(a AccessInfo) {
 	if a.Hit || a.Write {
 		return
@@ -159,6 +164,8 @@ func (p *NextN) OnAccess(a AccessInfo) {
 func (p *NextN) AppendTick(dst []Request, now uint64) []Request { return p.queue.AppendPop(dst) }
 
 // Idle reports whether the queue is drained.
+//
+//bfetch:hotpath
 func (p *NextN) Idle() bool { return p.queue.Len() == 0 }
 
 // ResetStats zeroes the queue counters.

@@ -105,6 +105,14 @@ type Engine struct {
 	noCache bool
 	store   *store.Store // durable second tier; nil = memory-only
 
+	// Lock discipline: the Engine's mutexes guard disjoint state and are
+	// never held together in steady state; if a path ever must nest them,
+	// logMu is the innermost leaf — nothing is acquired under it.
+	//
+	//bfetch:lockorder Engine.mu < Engine.logMu
+	//bfetch:lockorder Engine.ckMu < Engine.logMu
+	//bfetch:lockorder Engine.repMu < Engine.logMu
+
 	logMu sync.Mutex
 	log   io.Writer
 
