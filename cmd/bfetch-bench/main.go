@@ -124,6 +124,8 @@ func run() error {
 	curExp.Store("")
 	start := time.Now()
 	if *httpAddr != "" {
+		hub := obs.NewStreamHub()
+		eng.SetStream(hub)
 		srv, err := obs.Serve(*httpAddr,
 			func() obs.Status {
 				done, total := eng.Progress()
@@ -151,12 +153,13 @@ func run() error {
 			},
 			func() obs.RunsFile {
 				return obs.RunsFile{Schema: obs.SchemaRuns, Loop: loop.String(), Runs: eng.RunReports()}
-			})
+			},
+			hub)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "obs: serving http://%s/obs\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "obs: serving http://%s/obs (stream at /obs/stream)\n", srv.Addr())
 	}
 
 	params := harness.DefaultParams()
@@ -357,6 +360,11 @@ type benchExp struct {
 	// Analytic marks experiments that derive their tables from configuration
 	// arithmetic alone (storage tables): no simulation, no emulation.
 	Analytic bool `json:"analytic,omitempty"`
+	// CPI carries the cpi_* bucket columns: cycles the experiment's executed
+	// runs charged to each attribution bucket, keyed "cpi_<bucket>". Absent
+	// unless runs attributed (cpu.Config.CPIStack — the cpistack experiment);
+	// when every run attributed, the values sum to sim_cycles exactly.
+	CPI map[string]uint64 `json:"cpi,omitempty"`
 }
 
 type benchTotal struct {
@@ -377,6 +385,8 @@ type benchTotal struct {
 	StoreBytesRead   uint64  `json:"store_bytes_read,omitempty"`
 	StoreReadSeconds float64 `json:"store_read_seconds,omitempty"`
 	StoreState       string  `json:"store_state,omitempty"`
+	// CPI: whole-run cpi_* bucket totals (see benchExp.CPI).
+	CPI map[string]uint64 `json:"cpi,omitempty"`
 }
 
 func (b *benchReport) add(id string, wall time.Duration, prev, st runner.Stats) {
@@ -408,7 +418,23 @@ func (b *benchReport) add(id string, wall time.Duration, prev, st runner.Stats) 
 		exp.StoreState = storeState(exp.StoreHits, exp.StoreMisses)
 	}
 	exp.Analytic = exp.Sims == 0 && exp.CacheHits == 0 && exp.EmuInsts == 0 && exp.StoreHits == 0
+	exp.CPI = cpiFields(st.SimCPI, prev.SimCPI)
 	b.Experiments = append(b.Experiments, exp)
+}
+
+// cpiFields renders a CPI-stack delta as the cpi_* JSON columns, nil when
+// nothing was attributed over the span.
+func cpiFields(cur, prev obs.CPIStack) map[string]uint64 {
+	var m map[string]uint64
+	for b, v := range cur {
+		if d := v - prev[b]; d > 0 {
+			if m == nil {
+				m = make(map[string]uint64, obs.NumCPIBuckets)
+			}
+			m["cpi_"+obs.CPIBucketNames[b]] = d
+		}
+	}
+	return m
 }
 
 // storeState classifies a hit/miss delta into the provenance label the
@@ -449,6 +475,7 @@ func (b *benchReport) write(path string, st runner.Stats) error {
 		total.StoreReadSeconds = m.ReadTime.Seconds()
 		total.StoreState = storeState(m.Hits, m.Misses)
 	}
+	total.CPI = cpiFields(st.SimCPI, obs.CPIStack{})
 	b.Total = &total
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {

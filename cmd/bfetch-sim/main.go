@@ -41,6 +41,8 @@ func main() {
 		emuloop  = flag.String("emuloop", "auto", "functional-emulation engine: auto, compiled, or interp (escape hatch)")
 		simpar   = flag.Int("simpar", 0, "core workers (bulk-synchronous parallel stepping; 0/1 = serial, results byte-identical)")
 		scale    = flag.Bool("scale", false, "use the scale-out memory system (banked LLC, channeled DRAM) sized for the core count")
+		cpistack = flag.Bool("cpistack", false, "attribute every core cycle to a CPI-stack bucket and print the breakdown")
+		tsEvery  = flag.Uint64("ts", 0, "sample the metrics registry every N cycles into the obs report's time series (0 disables)")
 		storeDir = flag.String("store", "", "durable artifact store directory: answer this run from disk if cached there, write it back otherwise (ignored when tracing)")
 		list     = flag.Bool("list", false, "list workloads and exit")
 
@@ -98,6 +100,8 @@ func main() {
 	}
 	cfg.CPU = cfg.CPU.WithWidth(*width)
 	cfg.BFetch.PathThreshold = *conf
+	cfg.CPU.CPIStack = *cpistack
+	cfg.TSInterval = *tsEvery
 
 	var tr *obs.Trace
 	if *obsTrace != "" {
@@ -160,11 +164,24 @@ func main() {
 				lc.UsefulTimely, lc.UsefulLate, lc.UselessEvicted, lc.Polluting,
 				lc.Accuracy(), lc.Coverage(), lc.Timeliness())
 		}
+		if *cpistack && cs.Cycles > 0 {
+			fmt.Printf("  cpi stack     ")
+			for b := obs.CPIBucket(0); b < obs.NumCPIBuckets; b++ {
+				if v := cs.CPI[b]; v > 0 {
+					fmt.Printf(" %s=%.1f%%", obs.CPIBucketNames[b], 100*float64(v)/float64(cs.Cycles))
+				}
+			}
+			fmt.Println()
+		}
 		fmt.Println()
 	}
 	fmt.Printf("LLC: %d accesses, %.2f%% miss\n", res.LLC.Accesses, 100*res.LLC.MissRate())
 	fmt.Printf("DRAM: %d demand fills, %d prefetch fills, %d writebacks, %d stall cycles\n",
 		res.DRAM.DemandFills, res.DRAM.PrefetchFills, res.DRAM.Writebacks, res.DRAM.StallCycles)
+	if ts := res.TS; ts != nil {
+		fmt.Printf("time series: %d rows × %d columns, every %d cycles from cycle %d\n",
+			len(ts.Rows), len(ts.Names), ts.Interval, ts.Base)
+	}
 
 	if *obsOut != "" {
 		if err := writeObsReport(*obsOut, *pf, names, res, wall); err != nil {
@@ -196,6 +213,7 @@ func writeObsReport(path, engine string, apps []string, res sim.Result, wall tim
 		IPC:         res.IPC,
 		PerCore:     res.Lifecycle,
 		Metrics:     res.Metrics,
+		TS:          res.TS,
 		WallSeconds: wall.Seconds(),
 	}
 	r.Finalize()

@@ -44,6 +44,10 @@ type Request struct {
 	// behalf the prefetcher issued the request; it flows into the block
 	// metadata so eviction/use feedback can reach the per-load filter.
 	LoadPC uint64
+	// Class, when non-nil on a demand Read, collects CPI attribution for
+	// the load as the request walks the hierarchy (see loadclass.go). It
+	// rides down miss recursion and through deferred shared-port replay.
+	Class *LoadClass
 }
 
 // Level is anything that can service a block request: a next-level cache or
@@ -165,6 +169,10 @@ type Cache struct {
 
 	banks    []llcBank
 	bankMask uint64 //bfetch:noreset configuration
+
+	// classLevel is the attribution level a hit at this cache stamps into a
+	// classified request (see loadclass.go); inferred from the name.
+	classLevel uint8 //bfetch:noreset configuration
 }
 
 // New builds a cache in front of next.
@@ -181,11 +189,12 @@ func New(cfg Config, next Level) *Cache {
 		panic(fmt.Sprintf("cache %s: %d sets is not a power of two", cfg.Name, sets))
 	}
 	c := &Cache{
-		cfg:  cfg,
-		sets: sets,
-		ways: cfg.Ways,
-		data: make([]block, sets*cfg.Ways),
-		next: next,
+		cfg:        cfg,
+		sets:       sets,
+		ways:       cfg.Ways,
+		data:       make([]block, sets*cfg.Ways),
+		next:       next,
+		classLevel: classLevelOf(cfg.Name),
 	}
 	if cfg.Banks > 1 {
 		if cfg.Banks&(cfg.Banks-1) != 0 {
@@ -395,12 +404,19 @@ func (c *Cache) Access(req Request, now uint64) uint64 {
 
 	if c.Perfect && req.Kind == Read {
 		c.Stats.Hits++
+		if req.Class != nil {
+			req.Class.Level = c.classLevel
+		}
 		return now + c.cfg.Latency
 	}
 
 	var bank *llcBank
 	if c.banks != nil {
+		arrived := now
 		now, bank = c.bankArb(req.BlockAddr, now)
+		if req.Class != nil {
+			req.Class.BankQ += now - arrived
+		}
 	}
 
 	if b := c.lookup(req.BlockAddr); b != nil {
@@ -418,6 +434,14 @@ func (c *Cache) Access(req Request, now uint64) uint64 {
 			c.lc.Used(b.pfLoadPC, b.tag, now, b.readyAt, b.readyAt > done)
 			if c.feedback != nil {
 				c.feedback.PrefetchUseful(b.pfLoadPC, b.tag)
+			}
+		}
+		if req.Class != nil {
+			req.Class.Level = c.classLevel
+			if b.pfWasPf && b.readyAt > done {
+				// The demand merged with an in-flight prefetch fill: the
+				// prefetch was late, but it partially hid the miss.
+				req.Class.PFLate = true
 			}
 		}
 		if b.readyAt > done {
@@ -455,6 +479,9 @@ func (c *Cache) Access(req Request, now uint64) uint64 {
 		if bank.mshr[slot] > now {
 			bank.mshrStalls++
 			bank.mshrCycles += bank.mshr[slot] - now
+			if req.Class != nil {
+				req.Class.MSHRQ += bank.mshr[slot] - now
+			}
 			now = bank.mshr[slot]
 		}
 		fillDone := c.next.Access(fill, now+c.cfg.Latency)

@@ -117,6 +117,9 @@ func (d *DRAM) Access(req Request, now uint64) uint64 {
 	if d.chans == nil {
 		if d.nextFree > start {
 			d.StallCycles += d.nextFree - start
+			if req.Class != nil {
+				req.Class.ChanQ += d.nextFree - start
+			}
 			start = d.nextFree
 		}
 		d.nextFree = start + d.CyclesPerFill
@@ -125,6 +128,9 @@ func (d *DRAM) Access(req Request, now uint64) uint64 {
 		if c.nextFree > start {
 			c.stallCycles += c.nextFree - start
 			d.StallCycles += c.nextFree - start
+			if req.Class != nil {
+				req.Class.ChanQ += c.nextFree - start
+			}
 			start = c.nextFree
 		}
 		if d.maxInflight > 0 {
@@ -139,6 +145,9 @@ func (d *DRAM) Access(req Request, now uint64) uint64 {
 			if c.slots[slot] > start {
 				c.slotCycles += c.slots[slot] - start
 				d.StallCycles += c.slots[slot] - start
+				if req.Class != nil {
+					req.Class.ChanQ += c.slots[slot] - start
+				}
 				start = c.slots[slot]
 			}
 			if req.Kind == Write {
@@ -161,6 +170,9 @@ func (d *DRAM) Access(req Request, now uint64) uint64 {
 		return start
 	default:
 		d.DemandFills++
+		if req.Class != nil {
+			req.Class.Level = LoadLevelDRAM
+		}
 	}
 	return start + d.Latency
 }
@@ -283,6 +295,19 @@ func (h *Hierarchy) Load(addr uint64, now uint64) (uint64, bool) {
 	ba := h.extend(addr)
 	hit := h.L1D.Perfect || h.L1D.Contains(ba)
 	return h.L1D.Access(Request{BlockAddr: ba, Kind: Read}, now), hit
+}
+
+// LoadClassified is Load with CPI attribution: cl (a reused per-ROB-entry
+// record, zeroed by the caller) is annotated with the serving level and
+// queue waits as the request walks the hierarchy. For deferred shared-level
+// accesses the annotation completes at end-of-cycle port service, before
+// any later cycle reads it.
+//
+//bfetch:hotpath
+func (h *Hierarchy) LoadClassified(addr uint64, now uint64, cl *LoadClass) (uint64, bool) {
+	ba := h.extend(addr)
+	hit := h.L1D.Perfect || h.L1D.Contains(ba)
+	return h.L1D.Access(Request{BlockAddr: ba, Kind: Read, Class: cl}, now), hit
 }
 
 // Store issues a demand write (write-allocate) and returns its completion

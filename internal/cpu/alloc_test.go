@@ -50,6 +50,10 @@ var allocEngines = []struct {
 // collectors, lifecycle classifier, and a sampled tracer in its default-off
 // configuration — so the zero-alloc claim covers the instrumented hot path.
 func newAllocCore(prog *isa.Program, m *mem.Memory, mk mkPrefetcher) *Core {
+	return newAllocCoreCfg(DefaultConfig(), prog, m, mk)
+}
+
+func newAllocCoreCfg(cfg Config, prog *isa.Program, m *mem.Memory, mk mkPrefetcher) *Core {
 	dram := cache.NewDRAM()
 	llc := cache.New(cache.Config{Name: "L3", Bytes: 2 << 20, Ways: 16, Latency: 20}, dram)
 	hier := cache.NewHierarchy(cache.DefaultHierarchyConfig(), llc, 0)
@@ -70,7 +74,7 @@ func newAllocCore(prog *isa.Program, m *mem.Memory, mk mkPrefetcher) *Core {
 	lc.SetTrace(obs.NewTrace(256, 1<<62))
 	hier.L1D.SetLifecycle(lc)
 
-	c := New(DefaultConfig(), prog, m, hier, bp, conf, pf)
+	c := New(cfg, prog, m, hier, bp, conf, pf)
 	c.RegisterObs(reg, "c0.cpu.")
 	return c
 }
@@ -103,6 +107,45 @@ func TestCycleZeroAlloc(t *testing.T) {
 			})
 			if avg != 0 {
 				t.Errorf("Cycle with %s engine: %.3f allocs/cycle, want 0", eng.name, avg)
+			}
+		})
+	}
+}
+
+// TestCycleZeroAllocCPIStack is TestCycleZeroAlloc with cycle attribution
+// enabled: the per-cycle charge — head-of-ROB classification, the
+// LoadClassified cache path, and the gap-charging arithmetic behind it —
+// must add zero heap allocations for every engine, or the CPI stack could
+// never ship config-gated on the measurement path.
+func TestCycleZeroAllocCPIStack(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed by the race detector")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := DefaultConfig()
+	cfg.CPIStack = true
+	for _, eng := range allocEngines {
+		t.Run(eng.name, func(t *testing.T) {
+			prog, image := benchProgram()
+			c := newAllocCoreCfg(cfg, prog, image, eng.mk)
+			var now uint64
+			for ; now < 50_000; now++ {
+				c.Cycle(now)
+			}
+			if c.Halted() {
+				t.Fatal("core halted during warmup")
+			}
+			avg := testing.AllocsPerRun(2000, func() {
+				c.Cycle(now)
+				now++
+			})
+			if avg != 0 {
+				t.Errorf("Cycle with %s engine + CPI attribution: %.3f allocs/cycle, want 0", eng.name, avg)
+			}
+			if total := c.Stats.CPI.Total(); total != c.Stats.Cycles {
+				t.Errorf("CPI buckets sum to %d, want exactly Cycles = %d", total, c.Stats.Cycles)
 			}
 		})
 	}

@@ -20,6 +20,12 @@ type Config struct {
 	// MulLatency is the integer multiply latency; all other ALU ops take
 	// one cycle.
 	MulLatency uint64
+
+	// CPIStack enables per-cycle CPI-stack attribution (Stats.CPI): every
+	// counted cycle is charged to exactly one obs.CPIBucket. Off by default;
+	// the attribution path adds a head-of-ROB classification per cycle but
+	// no allocation.
+	CPIStack bool
 }
 
 // DefaultConfig is the Table II core.
@@ -64,6 +70,11 @@ type Stats struct {
 
 	PrefetchIssued  uint64 // requests accepted by the hierarchy
 	PrefetchDropped uint64 // requests dropped as already resident
+
+	// CPI is the cycle-attribution stack (Config.CPIStack); with attribution
+	// enabled, CPI.Total() == Cycles exactly. Living inside Stats, it is
+	// zeroed by the window reset (Stats{}) with every other counter.
+	CPI obs.CPIStack
 }
 
 // IPC returns committed instructions per cycle.
@@ -101,4 +112,10 @@ func (c *Core) RegisterObs(reg *obs.Registry, prefix string) {
 	reg.Func(prefix+"wrong_path_loads", func() uint64 { return c.Stats.WrongPathLoads })
 	reg.Func(prefix+"pf_requests", func() uint64 { return c.Stats.PrefetchIssued })
 	reg.Func(prefix+"pf_requests_dropped", func() uint64 { return c.Stats.PrefetchDropped })
+	if c.cfg.CPIStack {
+		for b := obs.CPIBucket(0); b < obs.NumCPIBuckets; b++ {
+			b := b
+			reg.Func(prefix+"cpi."+obs.CPIBucketNames[b], func() uint64 { return c.Stats.CPI[b] })
+		}
+	}
 }

@@ -80,6 +80,12 @@ type robEntry struct {
 	faulted bool
 	sqWait  uint64 // sqGen when this load was last found blocked
 
+	// CPI attribution (cfg.CPIStack): set when the load issued to the
+	// memory hierarchy; zeroed with the rest of the entry at dispatch.
+	memStart uint64          // cycle the load went to memory
+	memClass bool            // memStart/cl are valid
+	cl       cache.LoadClass // hierarchy annotation for head-of-ROB charging
+
 	// Control-flow bookkeeping.
 	predTaken   bool
 	predNext    int // predicted next instruction index; -1 = fetch stalled
@@ -272,7 +278,15 @@ func (c *Core) Cycle(now uint64) {
 		return
 	}
 	c.Stats.Cycles++
-	c.commit(now)
+	if c.cfg.CPIStack {
+		// Charge this cycle to exactly one CPI bucket, in the same block
+		// that counted it: sum(Stats.CPI) == Stats.Cycles by construction.
+		committed := c.Stats.Committed
+		c.commit(now)
+		c.chargeCycle(now, committed)
+	} else {
+		c.commit(now)
+	}
 	if c.halted {
 		return
 	}
@@ -712,7 +726,16 @@ func (c *Core) tryLoad(e *robEntry, now uint64) bool {
 		c.Stats.StoreForwards++
 	} else {
 		e.destVal = c.mem.ReadInt64(e.ea)
-		done, hit := c.hier.Load(e.ea, now)
+		var done uint64
+		var hit bool
+		if c.cfg.CPIStack {
+			e.cl = cache.LoadClass{}
+			e.memStart = now
+			e.memClass = true
+			done, hit = c.hier.LoadClassified(e.ea, now, &e.cl)
+		} else {
+			done, hit = c.hier.Load(e.ea, now)
+		}
 		e.doneAt = done
 		if cache.IsPending(done) {
 			// Shared-level access deferred through the core's port: the real
@@ -993,9 +1016,10 @@ const NoEvent = ^uint64(0)
 // work, assuming no external state changes. The contract backing the
 // event-driven simulation loop: for every cycle t with now < t <
 // NextEvent(now), Cycle(t) would be a no-op apart from the Stats.Cycles
-// increment — so a caller may skip those cycles entirely (crediting the
-// skipped count via AddIdleCycles) and produce bit-identical results to
-// ticking every cycle.
+// increment (and, with cfg.CPIStack, the matching one-bucket CPI charge) —
+// so a caller may skip those cycles entirely (crediting the skipped range
+// via AddIdleCycles, which replays the charges exactly) and produce
+// bit-identical results to ticking every cycle.
 //
 // Each pipeline stage contributes its wake-up condition; anything that could
 // act on the very next cycle (ready entries, blocked loads retrying for a
@@ -1040,10 +1064,18 @@ func (c *Core) NextEvent(now uint64) uint64 {
 	return next
 }
 
-// AddIdleCycles credits cycles the event-driven loop skipped: cycles the
-// naive loop would have spent calling Cycle with no effect beyond the
-// Stats.Cycles increment.
-func (c *Core) AddIdleCycles(n uint64) { c.Stats.Cycles += n }
+// AddIdleCycles credits the skipped cycles [from, from+n): cycles the naive
+// loop would have spent calling Cycle with no effect beyond the Stats.Cycles
+// increment and (with cfg.CPIStack) the per-cycle bucket charge, which
+// chargeGap replays as a segment walk.
+//
+//bfetch:hotpath
+func (c *Core) AddIdleCycles(from, n uint64) {
+	c.Stats.Cycles += n
+	if c.cfg.CPIStack && n > 0 {
+		c.chargeGap(from, from+n)
+	}
+}
 
 // Run drives the core on its own private clock until it halts, commits
 // maxInsts, or exceeds maxCycles; single-core convenience used by tests and

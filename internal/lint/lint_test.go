@@ -321,6 +321,66 @@ func TestCompiledDispatchHotpathMutation(t *testing.T) {
 	}
 }
 
+// tsLikeSrc mirrors the observability interval sampler's window restart,
+// plus a CPI-stack array reset — the counters the attribution subsystem
+// added. The mutation test deletes one cursor assignment and requires the
+// statsreset analyzer (which audits Restart alongside Reset/ResetStats) to
+// re-detect it: a sampler that keeps its old nextAt across ResetStats
+// replays warmup-window boundaries into the measurement window, and a CPI
+// array that survives the reset breaks the exact-partition invariant
+// (buckets would exceed the window's cycles).
+const tsLikeSrc = `package obs
+
+type timeSeries struct {
+	reg      *int     //bfetch:noreset wiring
+	maxRows  int      //bfetch:noreset configuration
+	buf      []uint64 //bfetch:noreset ring storage, emptied logically by n=0
+	n        int
+	cpi      [4]uint64
+	interval uint64
+	base     uint64
+	nextAt   uint64
+}
+
+func (s *timeSeries) Restart(now uint64) {
+	s.n = 0
+	s.cpi = [4]uint64{}
+	s.interval = 1
+	s.base = now
+	s.nextAt = now + s.interval
+}
+`
+
+func TestTimeSeriesRestartMutation(t *testing.T) {
+	p, err := ParseSource("obs.go", tsLikeSrc)
+	if err != nil {
+		t.Fatalf("parsing clean source: %v", err)
+	}
+	if diags := StatsReset(p); len(diags) != 0 {
+		t.Fatalf("clean source produced findings: %v", diags)
+	}
+
+	for _, mut := range []struct {
+		drop, field string
+	}{
+		{"\ts.nextAt = now + s.interval\n", "timeSeries.nextAt"},
+		{"\ts.cpi = [4]uint64{}\n", "timeSeries.cpi"},
+	} {
+		mutated := strings.Replace(tsLikeSrc, mut.drop, "", 1)
+		if mutated == tsLikeSrc {
+			t.Fatalf("mutation %q did not apply; fixture drifted", mut.drop)
+		}
+		p, err = ParseSource("obs.go", mutated)
+		if err != nil {
+			t.Fatalf("parsing mutated source: %v", err)
+		}
+		diags := StatsReset(p)
+		if len(diags) != 1 || !strings.Contains(diags[0].Message, mut.field) {
+			t.Fatalf("mutated source: got %v, want exactly one finding naming %s", diags, mut.field)
+		}
+	}
+}
+
 // TestNoresetMutationAlsoGuardsMarkers checks the symmetric direction:
 // removing a //bfetch:noreset annotation (without adding the reset) must
 // surface the field.

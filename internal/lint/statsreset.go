@@ -5,14 +5,18 @@ import (
 	"go/token"
 )
 
-// StatsReset structurally audits every Reset/ResetStats method: each field
-// of the receiver struct must either be written by the method (directly, via
-// a sub-field/element assignment, via a method call on the field, via a
-// range that resets its elements, or by passing its address to a helper) or
-// carry a //bfetch:noreset annotation declaring it learned/configuration
-// state the reset deliberately preserves. This is the bug class PR 2's
-// reset audit fixed by hand — a counter added to a struct but forgotten in
-// ResetStats silently bleeds warmup state into the measurement window.
+// StatsReset structurally audits every Reset/ResetStats/Restart method:
+// each field of the receiver struct must either be written by the method
+// (directly, via a sub-field/element assignment, via a method call on the
+// field, via a range that resets its elements, or by passing its address to
+// a helper) or carry a //bfetch:noreset annotation declaring it
+// learned/configuration state the reset deliberately preserves. This is the
+// bug class PR 2's reset audit fixed by hand — a counter added to a struct
+// but forgotten in ResetStats silently bleeds warmup state into the
+// measurement window. Restart joined the audited family with the interval
+// time series: a sampler whose window restart forgets a cursor replays the
+// warmup rows into the measurement window, the same bug class at one
+// remove.
 //
 // Embedded (anonymous) fields are exempt: their own Reset methods are
 // audited separately.
@@ -25,7 +29,7 @@ func StatsReset(p *Package) []Diagnostic {
 			if !ok || fd.Body == nil || fd.Recv == nil {
 				continue
 			}
-			if fd.Name.Name != "Reset" && fd.Name.Name != "ResetStats" {
+			if fd.Name.Name != "Reset" && fd.Name.Name != "ResetStats" && fd.Name.Name != "Restart" {
 				continue
 			}
 			recvName, typeName := recvInfo(fd)

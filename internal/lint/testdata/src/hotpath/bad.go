@@ -99,3 +99,25 @@ func badCompiledDispatch(ops []op, regs *[32]int64) {
 		step()
 	}
 }
+
+// attrib mimics the CPI-stack attribution state: a fixed bucket array in the
+// stats struct, charged once per cycle.
+type attrib struct {
+	cpi    [8]uint64
+	cycles uint64
+}
+
+// badChargeCycle is the attribution regression the CPI stack must never
+// grow: materializing the per-cycle classification into a named map (or a
+// formatted label) turns every simulated cycle into a heap allocation. The
+// shipping path indexes a fixed array with a uint8 bucket (see
+// goodChargeCycle in good.go).
+//
+//bfetch:hotpath
+func badChargeCycle(a *attrib, bucket uint8, now uint64) {
+	byName := map[string]uint64{}             // want "map literal allocates"
+	byName[fmt.Sprintf("bucket%d", bucket)]++ // want "fmt.Sprintf allocates"
+	a.cycles++
+	segs := []uint64{now, now + 1} // want "slice literal allocates"
+	_ = segs
+}

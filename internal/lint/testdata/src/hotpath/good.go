@@ -92,6 +92,55 @@ func goodPortService(p *port, banks []bank, now uint64) {
 	p.fills = p.fills[:0]
 }
 
+// stack mirrors the CPI attribution shape: a fixed bucket array charged by
+// uint8 index, a piecewise-constant gap walk over precomputed boundaries,
+// and a plain value struct for the load classification — none of it
+// allocates.
+type stack struct {
+	cpi    [8]uint64
+	cycles uint64
+}
+
+type loadClass struct {
+	level        uint8
+	bankq, chanq uint64
+}
+
+//bfetch:hotpath
+func goodChargeCycle(s *stack, bucket uint8) {
+	s.cycles++
+	s.cpi[bucket]++
+}
+
+//bfetch:hotpath
+func goodChargeGap(s *stack, cl loadClass, memStart, from, end uint64) {
+	// Segment boundaries are absolute cycles computed by addition; each
+	// segment charges a span into one fixed slot. cl is a value struct —
+	// stack-allocated, exactly like cache.LoadClass in the shipping path.
+	b := memStart + 1 + cl.bankq
+	if from < b {
+		hi := min(end, b)
+		s.cpi[1] += hi - from
+		from = hi
+	}
+	b += cl.chanq
+	if from < b {
+		hi := min(end, b)
+		s.cpi[2] += hi - from
+		from = hi
+	}
+	if from < end {
+		s.cpi[cl.level&7] += end - from
+	}
+}
+
+func min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // notAnnotated allocates freely: without //bfetch:hotpath the analyzer must
 // stay silent.
 func notAnnotated(n int) []int {

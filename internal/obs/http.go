@@ -5,6 +5,7 @@ package obs
 //
 //	/obs         current Status (schema bfetch-obs-status/v1)
 //	/obs/runs    completed runs so far (schema bfetch-obs/v1)
+//	/obs/stream  live NDJSON event stream (progress / run / sample events)
 //	/debug/vars  expvar, including a published bfetch status var
 //	/debug/pprof net/http/pprof profiles
 //
@@ -32,8 +33,10 @@ var publishOnce sync.Once
 
 // Serve starts the endpoint on addr (e.g. "127.0.0.1:0"; an empty port
 // picks one — read it back with Addr). status supplies the live Status;
-// runs supplies the completed-run reports and may be nil.
-func Serve(addr string, status func() Status, runs func() RunsFile) (*Server, error) {
+// runs supplies the completed-run reports and may be nil; hub, when
+// non-nil, is served as a live NDJSON stream at /obs/stream (each client
+// gets its own subscription; see StreamHub for the slow-client policy).
+func Serve(addr string, status func() Status, runs func() RunsFile, hub *StreamHub) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -61,6 +64,36 @@ func Serve(addr string, status func() Status, runs func() RunsFile) (*Server, er
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
 			enc.Encode(runs())
+		})
+	}
+	if hub != nil {
+		mux.HandleFunc("/obs/stream", func(w http.ResponseWriter, r *http.Request) {
+			fl, ok := w.(http.Flusher)
+			if !ok {
+				http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+				return
+			}
+			ch, cancel := hub.Subscribe()
+			defer cancel()
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.Header().Set("Cache-Control", "no-store")
+			w.WriteHeader(http.StatusOK)
+			fl.Flush()
+			ctx := r.Context()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case line, ok := <-ch:
+					if !ok {
+						return
+					}
+					if _, err := w.Write(line); err != nil {
+						return
+					}
+					fl.Flush()
+				}
+			}
 		})
 	}
 	mux.Handle("/debug/vars", expvar.Handler())

@@ -27,7 +27,7 @@ func TestServeEndpoints(t *testing.T) {
 	runs := func() RunsFile {
 		return RunsFile{Schema: SchemaRuns, Runs: []RunReport{validRun()}}
 	}
-	srv, err := Serve("127.0.0.1:0", status, runs)
+	srv, err := Serve("127.0.0.1:0", status, runs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestServeEndpoints(t *testing.T) {
 // is wired, and that a second server in the same process is fine (the
 // expvar publication must not panic on re-registration).
 func TestServeWithoutRuns(t *testing.T) {
-	srv, err := Serve("127.0.0.1:0", func() Status { return Status{Schema: SchemaStatus} }, nil)
+	srv, err := Serve("127.0.0.1:0", func() Status { return Status{Schema: SchemaStatus} }, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

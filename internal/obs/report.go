@@ -10,6 +10,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 )
 
 // Schema tags.
@@ -17,6 +18,7 @@ const (
 	SchemaRun    = "bfetch-obs-run/v1"
 	SchemaRuns   = "bfetch-obs/v1"
 	SchemaStatus = "bfetch-obs-status/v1"
+	SchemaTS     = "bfetch-obs-ts/v1"
 )
 
 // RunReport is one executed simulation's observability record.
@@ -29,13 +31,18 @@ type RunReport struct {
 	Insts  uint64    `json:"insts"`  // committed instructions, all cores
 	IPC    []float64 `json:"ipc"`    // per core
 
-	Lifecycle LifecycleStats   `json:"lifecycle"`           // summed over cores
-	PerCore   []LifecycleStats `json:"per_core,omitempty"`  // per-core breakdown (multi-core runs)
-	Accuracy  float64          `json:"accuracy"`
-	Coverage  float64          `json:"coverage"`
-	Timeliness float64         `json:"timeliness"`
+	Lifecycle  LifecycleStats   `json:"lifecycle"`          // summed over cores
+	PerCore    []LifecycleStats `json:"per_core,omitempty"` // per-core breakdown (multi-core runs)
+	Accuracy   float64          `json:"accuracy"`
+	Coverage   float64          `json:"coverage"`
+	Timeliness float64          `json:"timeliness"`
 
 	Metrics Snapshot `json:"metrics"` // full registry snapshot
+
+	// TS is the run's interval time series (nil unless sampling was
+	// configured); its rows are deterministic across loop and worker-count
+	// choices.
+	TS *TimeSeriesData `json:"ts,omitempty"`
 
 	WallSeconds   float64 `json:"wall_seconds"`        // inside sim.Run
 	KCyclesPerSec float64 `json:"sim_kcycles_per_sec"` // cycles / wall
@@ -79,11 +86,11 @@ type Status struct {
 	JobsDone  uint64 `json:"jobs_done"`
 	JobsTotal uint64 `json:"jobs_total"`
 
-	Runs        uint64  `json:"runs"`
-	CacheHits   uint64  `json:"cache_hits"`
-	CacheMisses uint64  `json:"cache_misses"`
-	CkptHits    uint64  `json:"ckpt_hits"`
-	CkptMisses  uint64  `json:"ckpt_misses"`
+	Runs        uint64 `json:"runs"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	CkptHits    uint64 `json:"ckpt_hits"`
+	CkptMisses  uint64 `json:"ckpt_misses"`
 
 	// Durable-store tier (internal/store), present when the batch runs
 	// with -store: disk lookups across both artifact kinds, payload bytes
@@ -148,6 +155,12 @@ func ValidateReport(data []byte) (string, error) {
 			return probe.Schema, fmt.Errorf("obs: status jobs_done %d > jobs_total %d", s.JobsDone, s.JobsTotal)
 		}
 		return probe.Schema, nil
+	case SchemaTS:
+		var ts TimeSeriesData
+		if err := json.Unmarshal(data, &ts); err != nil {
+			return probe.Schema, fmt.Errorf("obs: malformed time series: %w", err)
+		}
+		return probe.Schema, validateTS(&ts)
 	case "":
 		return "", fmt.Errorf("obs: missing schema tag")
 	default:
@@ -184,6 +197,67 @@ func validateRun(r RunReport) error {
 	for i := 1; i < len(r.Metrics.Samples); i++ {
 		if r.Metrics.Samples[i-1].Name >= r.Metrics.Samples[i].Name {
 			return fmt.Errorf("metrics snapshot not sorted/unique at %q", r.Metrics.Samples[i].Name)
+		}
+	}
+	if err := validateCPI(r.Metrics); err != nil {
+		return err
+	}
+	if r.TS != nil {
+		if err := validateTS(r.TS); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateCPI enforces the exact-partition invariant on every core that
+// exported a CPI stack: the bucket columns under "<core>.cpi." must sum to
+// that core's "<core>.cycles" exactly. Samples are name-sorted, so each
+// core's cpi.* columns form one contiguous run.
+func validateCPI(m Snapshot) error {
+	for i := 0; i < len(m.Samples); {
+		name := m.Samples[i].Name
+		idx := strings.Index(name, ".cpi.")
+		if idx < 0 {
+			i++
+			continue
+		}
+		owner := name[:idx+1] // e.g. "c0.cpu."
+		var sum uint64
+		for i < len(m.Samples) && strings.HasPrefix(m.Samples[i].Name, owner+"cpi.") {
+			sum += m.Samples[i].Value
+			i++
+		}
+		cycles, ok := m.Get(owner + "cycles")
+		if !ok {
+			return fmt.Errorf("cpi stack %scpi.* has no matching %scycles", owner, owner)
+		}
+		if sum != cycles {
+			return fmt.Errorf("cpi stack %scpi.* sums to %d, want exactly %scycles = %d", owner, sum, owner, cycles)
+		}
+	}
+	return nil
+}
+
+// validateTS checks a time-series section's structural invariants.
+func validateTS(ts *TimeSeriesData) error {
+	if ts.Schema != SchemaTS {
+		return fmt.Errorf("time series schema is %q, want %q", ts.Schema, SchemaTS)
+	}
+	if ts.Interval == 0 {
+		return fmt.Errorf("time series has zero interval")
+	}
+	if len(ts.Names) == 0 {
+		return fmt.Errorf("time series has no columns")
+	}
+	for i := 1; i < len(ts.Names); i++ {
+		if ts.Names[i-1] >= ts.Names[i] {
+			return fmt.Errorf("time series columns not sorted/unique at %q", ts.Names[i])
+		}
+	}
+	for i, row := range ts.Rows {
+		if len(row) != len(ts.Names) {
+			return fmt.Errorf("time series row %d has %d columns, want %d", i, len(row), len(ts.Names))
 		}
 	}
 	return nil

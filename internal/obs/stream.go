@@ -1,0 +1,131 @@
+package obs
+
+// Live run streaming. A StreamHub fans NDJSON events out to any number of
+// concurrent subscribers; the /obs/stream endpoint (http.go) attaches one
+// subscriber per connected client. Producers — the batch runner — publish
+// typed events at run granularity: a progress event per finished job, and a
+// run summary plus the run's interval time-series rows when a simulation
+// completes. Publishing happens outside the simulation's per-cycle path, so
+// the hot kernel stays allocation-free regardless of how many clients watch.
+//
+// Slow-client policy: each subscriber owns a bounded buffered channel, and
+// Publish never blocks — an event that finds a subscriber's buffer full is
+// dropped for that subscriber (and counted). A stalled curl therefore cannot
+// back-pressure the experiment batch; clients needing a complete record read
+// /obs/runs or the -obsjson file, which are lossless.
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// StreamProgress reports batch progress; one is published per finished job
+// (whether it simulated or was answered from a cache).
+type StreamProgress struct {
+	Event     string `json:"event"` // "progress"
+	JobsDone  uint64 `json:"jobs_done"`
+	JobsTotal uint64 `json:"jobs_total"`
+}
+
+// StreamRun summarizes one executed simulation.
+type StreamRun struct {
+	Event       string   `json:"event"` // "run"
+	Engine      string   `json:"engine"`
+	Apps        []string `json:"apps"`
+	Cycles      uint64   `json:"cycles"`
+	Insts       uint64   `json:"insts"`
+	IPC         float64  `json:"ipc"` // aggregate: insts / cycles
+	WallSeconds float64  `json:"wall_seconds"`
+}
+
+// StreamSample is one interval time-series row from an executed run,
+// published after that run's StreamRun event. Cycle is the absolute
+// simulated-cycle boundary the row sampled; Names is sent on a run's first
+// row only (the schema is fixed for the whole run).
+type StreamSample struct {
+	Event  string   `json:"event"` // "sample"
+	Engine string   `json:"engine"`
+	Apps   []string `json:"apps"`
+	Cycle  uint64   `json:"cycle"`
+	Names  []string `json:"names,omitempty"`
+	Row    []uint64 `json:"row"`
+}
+
+// streamBuffer is each subscriber's channel depth: enough to absorb a full
+// run's burst (summary + a maxRows time series) without loss for any client
+// that is actually reading.
+const streamBuffer = 256
+
+// StreamHub fans published events out to subscribers. The zero value is not
+// usable; construct with NewStreamHub. Safe for concurrent use — producers
+// publish from worker goroutines while HTTP handlers subscribe and cancel.
+type StreamHub struct {
+	mu      sync.Mutex
+	subs    map[chan []byte]struct{}
+	dropped uint64
+}
+
+// NewStreamHub returns an empty hub.
+func NewStreamHub() *StreamHub {
+	return &StreamHub{subs: make(map[chan []byte]struct{})}
+}
+
+// Subscribe registers a new subscriber and returns its event channel plus a
+// cancel function. Each received value is one complete NDJSON line
+// (newline-terminated). Cancel is idempotent and closes the channel after
+// unregistering, so a draining reader terminates cleanly.
+func (h *StreamHub) Subscribe() (<-chan []byte, func()) {
+	ch := make(chan []byte, streamBuffer)
+	h.mu.Lock()
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			h.mu.Lock()
+			delete(h.subs, ch)
+			h.mu.Unlock()
+			close(ch)
+		})
+	}
+	return ch, cancel
+}
+
+// Subscribers reports the number of attached clients.
+func (h *StreamHub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Dropped reports events discarded because a subscriber's buffer was full.
+func (h *StreamHub) Dropped() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}
+
+// Publish marshals v as one NDJSON line and offers it to every subscriber
+// without blocking; subscribers whose buffers are full miss this event. A
+// nil hub is a no-op, so producers need no guard. Marshal failures are
+// silently dropped — event types are plain structs and cannot fail, and the
+// streaming surface must never abort a batch.
+func (h *StreamHub) Publish(v any) {
+	if h == nil {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	line := append(data, '\n')
+	h.mu.Lock()
+	for ch := range h.subs {
+		select {
+		case ch <- line: //bfetch:sync-ok select with default never blocks; sending under mu excludes Subscribe's close
+		default:
+			h.dropped++
+		}
+	}
+	h.mu.Unlock()
+}

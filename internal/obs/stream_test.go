@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStreamHubFanout checks the hub's core semantics: every subscriber sees
+// every published line, lines are newline-terminated NDJSON, and cancel is
+// idempotent and closes the channel.
+func TestStreamHubFanout(t *testing.T) {
+	h := NewStreamHub()
+	a, cancelA := h.Subscribe()
+	b, cancelB := h.Subscribe()
+	if n := h.Subscribers(); n != 2 {
+		t.Fatalf("Subscribers() = %d, want 2", n)
+	}
+
+	h.Publish(StreamProgress{Event: "progress", JobsDone: 1, JobsTotal: 2})
+	h.Publish(StreamRun{Event: "run", Engine: "bfetch", Cycles: 100, Insts: 50})
+
+	for name, ch := range map[string]<-chan []byte{"a": a, "b": b} {
+		for i, wantEvent := range []string{"progress", "run"} {
+			line := <-ch
+			if line[len(line)-1] != '\n' {
+				t.Errorf("%s line %d not newline-terminated", name, i)
+			}
+			var ev struct {
+				Event string `json:"event"`
+			}
+			if err := json.Unmarshal(line, &ev); err != nil {
+				t.Fatalf("%s line %d: %v", name, i, err)
+			}
+			if ev.Event != wantEvent {
+				t.Errorf("%s line %d event %q, want %q", name, i, ev.Event, wantEvent)
+			}
+		}
+	}
+
+	cancelA()
+	cancelA() // idempotent
+	if _, ok := <-a; ok {
+		t.Error("cancelled subscriber's channel not closed")
+	}
+	if n := h.Subscribers(); n != 1 {
+		t.Errorf("Subscribers() after cancel = %d, want 1", n)
+	}
+	h.Publish(StreamProgress{Event: "progress", JobsDone: 2, JobsTotal: 2})
+	if line := <-b; line == nil {
+		t.Error("surviving subscriber missed a publish after peer cancelled")
+	}
+	cancelB()
+	// Publishing with no subscribers, and on a nil hub, must be no-ops.
+	h.Publish(StreamRun{Event: "run"})
+	var nilHub *StreamHub
+	nilHub.Publish(StreamRun{Event: "run"})
+}
+
+// TestStreamHubSlowClient checks the non-blocking drop policy: a subscriber
+// that never reads absorbs streamBuffer events, then overflow is counted as
+// dropped and Publish still returns — a stalled client cannot wedge a batch.
+func TestStreamHubSlowClient(t *testing.T) {
+	h := NewStreamHub()
+	_, cancel := h.Subscribe()
+	defer cancel()
+	for i := 0; i < streamBuffer+5; i++ {
+		h.Publish(StreamProgress{Event: "progress", JobsDone: uint64(i)})
+	}
+	if got := h.Dropped(); got != 5 {
+		t.Errorf("Dropped() = %d, want 5", got)
+	}
+}
+
+// TestStreamHubConcurrent races publishers against subscribe/cancel churn;
+// run under -race this pins the locking discipline (in particular that
+// Publish's send cannot race Subscribe's close).
+func TestStreamHubConcurrent(t *testing.T) {
+	h := NewStreamHub()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Publish(StreamProgress{Event: "progress", JobsDone: uint64(i)})
+				}
+			}
+		}()
+	}
+	var sg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		sg.Add(1)
+		go func() {
+			defer sg.Done()
+			for i := 0; i < 50; i++ {
+				ch, cancel := h.Subscribe()
+				<-ch // publishers run until stop: a receive always arrives
+				cancel()
+				for range ch { // drain to closed: cancel-vs-publish ordering
+				}
+			}
+		}()
+	}
+	sg.Wait()
+	close(stop)
+	wg.Wait()
+	if n := h.Subscribers(); n != 0 {
+		t.Errorf("Subscribers() after churn = %d, want 0", n)
+	}
+}
+
+// TestServeStream exercises the /obs/stream endpoint end to end: a client
+// connects, the hub registers it, published events arrive as parseable
+// NDJSON lines, and disconnecting unregisters the subscriber.
+func TestServeStream(t *testing.T) {
+	hub := NewStreamHub()
+	srv, err := Serve("127.0.0.1:0", func() Status { return Status{Schema: SchemaStatus} }, nil, hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/obs/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /obs/stream: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type %q, want application/x-ndjson", ct)
+	}
+
+	// The handler subscribes asynchronously; wait for registration before
+	// publishing so the event cannot be lost to the race.
+	deadline := time.Now().Add(5 * time.Second)
+	for hub.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stream client never registered with the hub")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	hub.Publish(StreamSample{
+		Event: "sample", Engine: "bfetch", Cycle: 4096,
+		Names: []string{"c0.cpu.cycles"}, Row: []uint64{4096},
+	})
+
+	line, err := bufio.NewReader(resp.Body).ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev StreamSample
+	if err := json.Unmarshal(line, &ev); err != nil {
+		t.Fatalf("bad stream line %q: %v", line, err)
+	}
+	if ev.Event != "sample" || ev.Cycle != 4096 || len(ev.Names) != 1 || len(ev.Row) != 1 {
+		t.Errorf("stream event %+v, want the published sample", ev)
+	}
+
+	resp.Body.Close()
+	deadline = time.Now().Add(5 * time.Second)
+	for hub.Subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("disconnected client never unregistered from the hub")
+		}
+		// Nudge the handler's select loop: a publish to a closed connection
+		// surfaces the write error / context cancellation.
+		hub.Publish(StreamProgress{Event: "progress"})
+		time.Sleep(time.Millisecond)
+	}
+}

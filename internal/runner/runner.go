@@ -93,6 +93,12 @@ type Stats struct {
 	// reported via AddEmuInsts (the emulator-driven characterization
 	// experiments).
 	EmuInsts uint64
+
+	// SimCPI sums executed runs' per-core CPI stacks (zero unless jobs ran
+	// with cpu.Config.CPIStack). When every run attributed, SimCPI.Total()
+	// == SimCycles — the batch-level echo of the per-core exact-partition
+	// invariant.
+	SimCPI obs.CPIStack
 }
 
 // Engine schedules simulation jobs over a bounded worker pool and memoizes
@@ -129,6 +135,12 @@ type Engine struct {
 	simCycles, simInsts atomic.Uint64
 	emuInsts            atomic.Uint64
 	simNanos            atomic.Int64
+	simCPI              [obs.NumCPIBuckets]atomic.Uint64
+
+	// stream, when set, receives live NDJSON events: a progress event per
+	// finished job, and a run summary plus time-series rows per executed
+	// simulation. Set before submitting jobs; a nil hub publishes nothing.
+	stream *obs.StreamHub
 
 	// Batch progress, for live introspection: jobs submitted through
 	// RunAll/Run and jobs finished (from cache or simulation).
@@ -237,6 +249,13 @@ func (e *Engine) Progress() (done, total uint64) {
 	return e.jobsDone.Load(), e.jobsTotal.Load()
 }
 
+// SetStream attaches a live event hub: each finished job publishes a
+// progress event, and each executed simulation publishes a run summary
+// followed by its interval time-series rows. Attach before submitting jobs;
+// nil detaches. Publishing is non-blocking (the hub drops events to slow
+// subscribers), so streaming never back-pressures the batch.
+func (e *Engine) SetStream(h *obs.StreamHub) { e.stream = h }
+
 // SetLog directs per-job progress lines to w (nil disables). Writes are
 // serialized internally, so any Writer is acceptable.
 func (e *Engine) SetLog(w io.Writer) {
@@ -247,7 +266,7 @@ func (e *Engine) SetLog(w io.Writer) {
 
 // Stats returns a snapshot of the cache and throughput counters.
 func (e *Engine) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Hits: e.hits.Load(), Misses: e.misses.Load(), Runs: e.runs.Load(),
 		CkptHits: e.ckHits.Load(), CkptMisses: e.ckMisses.Load(),
 		StoreHits: e.stHits.Load(), StoreMisses: e.stMisses.Load(),
@@ -256,6 +275,10 @@ func (e *Engine) Stats() Stats {
 		SimTime:  time.Duration(e.simNanos.Load()),
 		EmuInsts: e.emuInsts.Load(),
 	}
+	for b := range st.SimCPI {
+		st.SimCPI[b] = e.simCPI[b].Load()
+	}
+	return st
 }
 
 // AddEmuInsts reports functionally emulated instructions executed outside
@@ -362,7 +385,12 @@ func (e *Engine) fanOut(n int, fn func(i int)) {
 // in-flight entry cannot deadlock: entries never depend on one another, so
 // the computing worker always makes progress.
 func (e *Engine) runJob(j Job) Outcome {
-	defer e.jobsDone.Add(1)
+	defer func() {
+		done := e.jobsDone.Add(1)
+		if e.stream != nil {
+			e.stream.Publish(obs.StreamProgress{Event: "progress", JobsDone: done, JobsTotal: e.jobsTotal.Load()})
+		}
+	}()
 	key, cacheable := Fingerprint(j.Cfg, j.Apps, j.Opts)
 	if !cacheable || e.noCache {
 		if e.noCache {
@@ -430,13 +458,21 @@ func (e *Engine) execute(j Job) Outcome {
 	e.simNanos.Add(int64(elapsed))
 	if err == nil {
 		var cycles, insts uint64
+		var cpi obs.CPIStack
 		for _, cs := range res.Core {
 			cycles += cs.Cycles
 			insts += cs.Committed
+			cpi.AddStack(&cs.CPI)
 		}
 		e.simCycles.Add(cycles)
 		e.simInsts.Add(insts)
+		for b, v := range cpi {
+			if v > 0 {
+				e.simCPI[b].Add(v)
+			}
+		}
 		e.report(j, res, insts, elapsed)
+		e.publishRun(j, res, insts, elapsed)
 	}
 	e.logf("runner: %-8s %v done in %s", j.Cfg.Prefetcher, j.Apps,
 		elapsed.Round(time.Millisecond))
@@ -459,10 +495,44 @@ func (e *Engine) report(j Job, res sim.Result, insts uint64, elapsed time.Durati
 		IPC:         append([]float64(nil), res.IPC...),
 		PerCore:     append([]obs.LifecycleStats(nil), res.Lifecycle...),
 		Metrics:     res.Metrics,
+		TS:          res.TS,
 		WallSeconds: elapsed.Seconds(),
 	}
 	r.Finalize()
 	e.reports = append(e.reports, r)
+}
+
+// publishRun streams one executed run: a summary event, then the run's
+// interval time-series rows (first row carries the column schema). No-op
+// without an attached hub.
+func (e *Engine) publishRun(j Job, res sim.Result, insts uint64, elapsed time.Duration) {
+	if e.stream == nil {
+		return
+	}
+	engine := string(j.Cfg.Prefetcher)
+	apps := append([]string(nil), j.Apps...)
+	run := obs.StreamRun{
+		Event: "run", Engine: engine, Apps: apps,
+		Cycles: res.Cycles, Insts: insts,
+		WallSeconds: elapsed.Seconds(),
+	}
+	if res.Cycles > 0 {
+		run.IPC = float64(insts) / float64(res.Cycles)
+	}
+	e.stream.Publish(run)
+	if ts := res.TS; ts != nil {
+		for k, row := range ts.Rows {
+			ev := obs.StreamSample{
+				Event: "sample", Engine: engine, Apps: apps,
+				Cycle: ts.Base + uint64(k+1)*ts.Interval,
+				Row:   row,
+			}
+			if k == 0 {
+				ev.Names = ts.Names
+			}
+			e.stream.Publish(ev)
+		}
+	}
 }
 
 // checkpoints resolves one cached checkpoint per application.

@@ -2,12 +2,14 @@ package runner
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/branch"
+	"repro/internal/obs"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
 )
@@ -203,5 +205,125 @@ func TestEngineLog(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "gamess") {
 		t.Errorf("log = %q", buf.String())
+	}
+}
+
+// TestTimeSeriesWorkerInvariance pins the tentpole's batch-level determinism
+// contract: an attributed, sampled 16-core job produces a bit-identical
+// interval time series whether the batch runs on one worker or eight, and the
+// batch-level CPI aggregate preserves the exact partition (SimCPI.Total() ==
+// SimCycles when every run attributed).
+func TestTimeSeriesWorkerInvariance(t *testing.T) {
+	apps := []string{"mcf", "milc", "libquantum", "astar"}
+	cfg := sim.DefaultScale(sim.PFBFetch, len(apps))
+	cfg.CPU.CPIStack = true
+	cfg.TSInterval = 256
+	cfg.TSMaxRows = 16
+	jobs := []Job{
+		Multi(cfg, apps, tinyOpts()),
+		Solo(func() sim.Config {
+			c := sim.Default(sim.PFStride)
+			c.CPU.CPIStack = true
+			c.TSInterval = 256
+			return c
+		}(), "lbm", tinyOpts()),
+	}
+
+	e1 := New(1)
+	one := e1.RunAll(jobs)
+	eight := New(8).RunAll(jobs)
+	for i := range jobs {
+		if one[i].Err != nil || eight[i].Err != nil {
+			t.Fatalf("job %d errors: -j1 %v, -j8 %v", i, one[i].Err, eight[i].Err)
+		}
+		if one[i].Result.TS == nil || len(one[i].Result.TS.Rows) == 0 {
+			t.Fatalf("job %d: no time series emitted", i)
+		}
+		if !reflect.DeepEqual(one[i].Result.TS, eight[i].Result.TS) {
+			t.Errorf("job %d: time series diverges between -j 1 and -j 8", i)
+		}
+	}
+
+	st := e1.Stats()
+	if st.SimCPI.Total() == 0 {
+		t.Fatal("batch CPI aggregate is empty despite attributed jobs")
+	}
+	if st.SimCPI.Total() != st.SimCycles {
+		t.Errorf("batch CPI buckets sum to %d, want exactly SimCycles = %d", st.SimCPI.Total(), st.SimCycles)
+	}
+}
+
+// TestStreamPublishing subscribes a hub to an engine and checks the event
+// protocol end to end: progress events count jobs up to the total, each
+// executed run publishes a run summary, and a sampled job's time-series rows
+// arrive with the Names header on the first row only.
+func TestStreamPublishing(t *testing.T) {
+	hub := obs.NewStreamHub()
+	sub, cancel := hub.Subscribe()
+	defer cancel()
+
+	cfg := sim.Default(sim.PFBFetch)
+	cfg.CPU.CPIStack = true
+	cfg.TSInterval = 512
+	cfg.TSMaxRows = 8
+	e := New(2)
+	e.SetStream(hub)
+	outs := e.RunAll([]Job{Solo(cfg, "mcf", tinyOpts())})
+	if outs[0].Err != nil {
+		t.Fatal(outs[0].Err)
+	}
+
+	var progress, runs, samples, namedRows int
+	for len(sub) > 0 {
+		line := <-sub
+		var ev struct {
+			Event     string   `json:"event"`
+			JobsDone  uint64   `json:"jobs_done"`
+			JobsTotal uint64   `json:"jobs_total"`
+			Engine    string   `json:"engine"`
+			Cycle     uint64   `json:"cycle"`
+			Names     []string `json:"names"`
+			Row       []uint64 `json:"row"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		switch ev.Event {
+		case "progress":
+			progress++
+			if ev.JobsDone != 1 || ev.JobsTotal != 1 {
+				t.Errorf("progress %d/%d, want 1/1", ev.JobsDone, ev.JobsTotal)
+			}
+		case "run":
+			runs++
+			if ev.Engine != string(sim.PFBFetch) {
+				t.Errorf("run event engine %q, want %q", ev.Engine, sim.PFBFetch)
+			}
+		case "sample":
+			samples++
+			if len(ev.Names) > 0 {
+				namedRows++
+				if len(ev.Names) != len(ev.Row) {
+					t.Errorf("sample names/row width mismatch: %d vs %d", len(ev.Names), len(ev.Row))
+				}
+			}
+			if ev.Cycle == 0 {
+				t.Error("sample event with zero cycle boundary")
+			}
+		default:
+			t.Errorf("unknown stream event %q", ev.Event)
+		}
+	}
+	if progress != 1 || runs != 1 {
+		t.Errorf("got %d progress and %d run events, want 1 and 1", progress, runs)
+	}
+	if samples == 0 {
+		t.Error("no sample events for a sampled job")
+	}
+	if namedRows != 1 {
+		t.Errorf("%d sample events carried the Names header, want exactly 1 (first row)", namedRows)
+	}
+	if hub.Dropped() != 0 {
+		t.Errorf("%d events dropped with a draining subscriber", hub.Dropped())
 	}
 }

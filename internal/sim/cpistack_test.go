@@ -1,0 +1,192 @@
+package sim
+
+// CPI-stack and time-series contracts at system scale: the exact-partition
+// invariant (every counted cycle lands in exactly one bucket) for every
+// engine under both clock loops, solo and on the 16-core banked mix, and the
+// interval sampler's bit-identity across loop modes and core-worker counts.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// allKinds is every prefetch engine, the cpistack experiment's sweep set.
+var allKinds = []PrefetcherKind{PFNone, PFNextN, PFStride, PFSMS, PFSTeMS, PFISB, PFBFetch}
+
+// checkPartition asserts the exact-partition invariant on every core of a
+// result: buckets sum to cycles, no slack, no overlap.
+func checkPartition(t *testing.T, label string, res Result) {
+	t.Helper()
+	for i, cs := range res.Core {
+		if total := cs.CPI.Total(); total != cs.Cycles {
+			t.Errorf("%s core %d: CPI buckets sum to %d, want exactly Cycles = %d (stack %v)",
+				label, i, total, cs.Cycles, cs.CPI)
+		}
+	}
+}
+
+// TestCPIStackExactPartition runs every engine with attribution enabled,
+// solo under both loops, and requires (a) the partition to be exact and
+// (b) the event loop's per-bucket charges — including the piecewise gap
+// replay — to be bit-identical to the naive loop's cycle-by-cycle ones.
+func TestCPIStackExactPartition(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			cfg := Default(kind)
+			cfg.CPU.CPIStack = true
+			var runs []Result
+			for _, loop := range []LoopMode{LoopNaive, LoopEvent} {
+				opts := eqOpts
+				opts.Loop = loop
+				res, err := Run(cfg, []string{"mcf"}, opts)
+				if err != nil {
+					t.Fatalf("loop %v: %v", loop, err)
+				}
+				checkPartition(t, loop.String(), res)
+				runs = append(runs, res)
+			}
+			if !reflect.DeepEqual(runs[0], runs[1]) {
+				t.Errorf("attributed snapshots diverge across loops\nnaive: %+v\nevent: %+v",
+					runs[0].Core, runs[1].Core)
+			}
+		})
+	}
+}
+
+// TestCPIStackExactPartitionBankedMix extends the invariant to the 16-core
+// scale-out system — banked LLC with MSHRs, channeled DRAM — where the
+// queueing buckets (llc_bank_queue, mshr, dram_chan_queue) actually charge,
+// for every engine under both loops and under BSP parallel stepping.
+func TestCPIStackExactPartitionBankedMix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, kind := range allKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultScale(kind, len(mix16))
+			cfg.CPU.CPIStack = true
+			var runs []Result
+			for _, loop := range []LoopMode{LoopNaive, LoopEvent} {
+				opts := parOpts
+				opts.Loop = loop
+				res, err := Run(cfg, mix16, opts)
+				if err != nil {
+					t.Fatalf("loop %v: %v", loop, err)
+				}
+				checkPartition(t, loop.String(), res)
+				runs = append(runs, res)
+			}
+			if !reflect.DeepEqual(runs[0], runs[1]) {
+				t.Errorf("attributed mix snapshots diverge across loops")
+			}
+			opts := parOpts
+			opts.CoreWorkers = 5
+			par, err := Run(cfg, mix16, opts)
+			if err != nil {
+				t.Fatalf("parallel stepping: %v", err)
+			}
+			checkPartition(t, "parallel", par)
+			if !reflect.DeepEqual(runs[0], par) {
+				t.Errorf("attributed snapshot diverges under parallel stepping")
+			}
+		})
+	}
+}
+
+// TestTimeSeriesDeterminism pins the sampler's contract: the emitted
+// TimeSeriesData — row values, row count, spacing after merge-downsampling —
+// is bit-identical across naive-vs-event loops and across core-worker
+// counts, on the contended 16-core system where the loops' idle-crediting
+// and gap-skipping differ most.
+func TestTimeSeriesDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := DefaultScale(PFBFetch, len(mix16))
+	cfg.CPU.CPIStack = true
+	cfg.TSInterval = 256
+	cfg.TSMaxRows = 16
+
+	base, err := Run(cfg, mix16, parOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.TS == nil || len(base.TS.Rows) == 0 {
+		t.Fatal("no time series emitted")
+	}
+	if base.TS.Schema != obs.SchemaTS {
+		t.Fatalf("time series schema %q, want %q", base.TS.Schema, obs.SchemaTS)
+	}
+	if base.TS.Interval == cfg.TSInterval {
+		t.Logf("note: run short enough that no downsampling occurred (interval still %d)", base.TS.Interval)
+	}
+
+	for _, v := range []struct {
+		name    string
+		loop    LoopMode
+		workers int
+	}{
+		{"event-serial", LoopEvent, 0},
+		{"naive-serial", LoopNaive, 0},
+		{"event-par8", LoopEvent, 8},
+		{"naive-par8", LoopNaive, 8},
+	} {
+		opts := parOpts
+		opts.Loop = v.loop
+		opts.CoreWorkers = v.workers
+		res, err := Run(cfg, mix16, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if !reflect.DeepEqual(base.TS, res.TS) {
+			t.Errorf("%s: time series diverges from baseline\nbase:  %+v\ngot:   %+v",
+				v.name, base.TS, res.TS)
+		}
+	}
+}
+
+// TestTimeSeriesWindowRestart checks the warmup/measure boundary: rows
+// sampled during warmup must not leak into the measured window's series
+// (the window-reset bug class the statsreset lint audit pins statically).
+func TestTimeSeriesWindowRestart(t *testing.T) {
+	cfg := Default(PFNone)
+	cfg.TSInterval = 128
+	s, err := buildSystem(cfg, []string{"libquantum"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(5_000, 20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	warm := s.ts.Rows()
+	if warm == 0 {
+		t.Fatal("no rows sampled during warmup")
+	}
+	s.ResetStats()
+	if s.ts.Rows() != 0 {
+		t.Fatalf("%d warmup rows survive ResetStats", s.ts.Rows())
+	}
+	if err := s.Run(5_000, 20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	res := s.Snapshot()
+	if res.TS == nil || len(res.TS.Rows) == 0 {
+		t.Fatal("no rows in the measured window")
+	}
+	if res.TS.Base == 0 {
+		t.Error("measured window's series still based at cycle 0: warmup window leaked")
+	}
+	// Rows are cumulative counters read after the reset: the first measured
+	// row must not contain warmup-scale cycle counts.
+	for i, name := range res.TS.Names {
+		if name == "c0.cpu.cycles" {
+			if got := res.TS.Rows[0][i]; got > res.Cycles {
+				t.Errorf("first measured row has c0.cpu.cycles = %d > window cycles %d", got, res.Cycles)
+			}
+		}
+	}
+}

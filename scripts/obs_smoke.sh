@@ -10,7 +10,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 workdir=$(mktemp -d)
-trap 'rm -rf "$workdir"; [ -n "${bench_pid:-}" ] && kill "$bench_pid" 2>/dev/null || true' EXIT
+trap 'rm -rf "$workdir"
+      [ -n "${bench_pid:-}" ] && kill "$bench_pid" 2>/dev/null
+      [ -n "${stream_pid:-}" ] && kill "$stream_pid" 2>/dev/null
+      true' EXIT
 
 echo "== build"
 go build -o "$workdir/bfetch-bench" ./cmd/bfetch-bench
@@ -28,6 +31,7 @@ bench_pid=$!
 
 echo "== scrape endpoint"
 ok=""
+stream_pid=""
 for _ in $(seq 1 50); do
     if curl -sf "http://$addr/obs" -o "$workdir/status.json" 2>/dev/null; then
         ok=1
@@ -46,6 +50,11 @@ if [ -z "$ok" ]; then
     exit 1
 fi
 
+# Attach a live-stream client for the rest of the batch: every job still to
+# finish publishes NDJSON progress/run events to it.
+curl -sN --max-time 40 "http://$addr/obs/stream" -o "$workdir/stream.ndjson" &
+stream_pid=$!
+
 # Wait for the run reports to land on disk (written after the batch).
 for _ in $(seq 1 150); do
     [ -s "$workdir/obs.json" ] && break
@@ -60,16 +69,42 @@ kill "$bench_pid" 2>/dev/null || true
 wait "$bench_pid" 2>/dev/null || true
 bench_pid=""
 
+echo "== check live stream"
+kill "$stream_pid" 2>/dev/null || true
+wait "$stream_pid" 2>/dev/null || true
+stream_pid=""
+[ -s "$workdir/stream.ndjson" ] || { echo "/obs/stream produced no events" >&2; exit 1; }
+grep -q '"event":"progress"' "$workdir/stream.ndjson" \
+    || { echo "stream carried no progress events" >&2; head "$workdir/stream.ndjson" >&2; exit 1; }
+grep -q '"event":"run"' "$workdir/stream.ndjson" \
+    || { echo "stream carried no run events" >&2; head "$workdir/stream.ndjson" >&2; exit 1; }
+
 echo "== single-run report + trace via bfetch-sim"
 "$workdir/bfetch-sim" -workloads mcf -pf stride -warmup 20000 -measure 20000 \
     -obs "$workdir/run.json" -obstrace "$workdir/pf.trace" -obstrace-every 8 \
     >/dev/null 2>&1
 [ -s "$workdir/pf.trace" ] || { echo "trace file empty" >&2; exit 1; }
 
+echo "== attributed run with interval time series"
+"$workdir/bfetch-sim" -workloads mcf -pf bfetch -warmup 20000 -measure 20000 \
+    -cpistack -ts 2000 -obs "$workdir/run_cpi.json" >/dev/null 2>&1
+grep -q 'bfetch-obs-ts/v1' "$workdir/run_cpi.json" \
+    || { echo "run report carries no bfetch-obs-ts/v1 series" >&2; exit 1; }
+grep -q '"c0.cpu.cpi.base"' "$workdir/run_cpi.json" \
+    || { echo "run report carries no cpi buckets" >&2; exit 1; }
+
+echo "== -exp cpistack smoke"
+"$workdir/bfetch-bench" -exp cpistack -workloads mcf,lbm -ff 0 \
+    -warmup 10000 -measure 10000 -q >"$workdir/cpistack.out" 2>&1 \
+    || { cat "$workdir/cpistack.out" >&2; exit 1; }
+grep -q 'llc_bank_queue' "$workdir/cpistack.out" \
+    || { echo "cpistack tables missing queue buckets" >&2; cat "$workdir/cpistack.out" >&2; exit 1; }
+
 echo "== validate schemas"
 "$workdir/bfetch-sim" -validate-obs "$workdir/status.json"
 "$workdir/bfetch-sim" -validate-obs "$workdir/runs.json"
 "$workdir/bfetch-sim" -validate-obs "$workdir/obs.json"
 "$workdir/bfetch-sim" -validate-obs "$workdir/run.json"
+"$workdir/bfetch-sim" -validate-obs "$workdir/run_cpi.json"
 
 echo "obs-smoke: OK"
